@@ -1,0 +1,35 @@
+//! # am-dgcnn
+//!
+//! The paper's contribution, reproduced: link classification in knowledge
+//! graphs with the SEAL framework, comparing **vanilla DGCNN** (GCN message
+//! passing, edge-blind) against **AM-DGCNN** (GAT message passing consuming
+//! edge attributes).
+//!
+//! Pipeline (paper §III): extract the 2-hop enclosing subgraph of a target
+//! pair (union or intersection mode) with the target link hidden → label
+//! nodes with DRNL → build node/edge attribute matrices → run the DGCNN
+//! skeleton (message passing → SortPooling → 1-D conv read-out → dense
+//! classifier) → softmax over link classes.
+//!
+//! Entry points: [`pipeline::Experiment`] for end-to-end runs,
+//! [`model::DgcnnModel`] for direct model access, [`metrics`] for the
+//! paper's AUC/AP definitions.
+
+#![warn(missing_docs)]
+
+pub mod features;
+pub mod metrics;
+pub mod model;
+pub mod pipeline;
+pub mod sample;
+pub mod schedule;
+pub mod train;
+pub mod wlnm;
+
+pub use features::FeatureConfig;
+pub use model::{DgcnnModel, GnnKind, ModelConfig};
+pub use pipeline::{evaluate_model, EvalMetrics, Experiment, Hyperparams, Session};
+pub use sample::{prepare_batch, prepare_sample, PreparedSample};
+pub use schedule::{EarlyStopping, LrSchedule};
+pub use train::{predict_probs, LinkModel, TrainConfig, Trainer};
+pub use wlnm::{WlnmConfig, WlnmModel};

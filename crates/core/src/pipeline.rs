@@ -1,0 +1,225 @@
+//! High-level experiment pipeline: dataset → prepared samples → trained
+//! model → metrics. This is the API the paper's tables and figures are
+//! regenerated through (crates/bench) and the entry point for examples.
+
+use crate::features::FeatureConfig;
+use crate::metrics::{accuracy, argmax_predictions, average_precision, macro_auc};
+use crate::model::{DgcnnModel, GnnKind, ModelConfig};
+use crate::sample::{prepare_batch, PreparedSample};
+use crate::train::{labels_of, predict_probs, TrainConfig, Trainer};
+use amdgcnn_data::Dataset;
+use amdgcnn_tensor::ParamStore;
+use rand::{rngs::StdRng, SeedableRng};
+use serde::Serialize;
+
+/// The tunable hyperparameters of Table I.
+#[derive(Debug, Clone, Copy, Serialize, PartialEq)]
+pub struct Hyperparams {
+    /// Learning rate ∈ [1e-6, 1e-2].
+    pub lr: f32,
+    /// GNN hidden dimension ∈ {16, 32, 64, 128}.
+    pub hidden_dim: usize,
+    /// Sort-aggregator k ∈ [5, 150].
+    pub sort_k: usize,
+}
+
+impl Default for Hyperparams {
+    fn default() -> Self {
+        Self {
+            lr: 1e-3,
+            hidden_dim: 32,
+            sort_k: 30,
+        }
+    }
+}
+
+/// Evaluation summary on a test split.
+#[derive(Debug, Clone, Copy, Serialize, PartialEq)]
+pub struct EvalMetrics {
+    /// Macro one-vs-rest ROC-AUC.
+    pub auc: f64,
+    /// The paper's Average Precision (macro per-class precision).
+    pub ap: f64,
+    /// Argmax accuracy.
+    pub accuracy: f64,
+}
+
+/// A runnable experiment binding a dataset to a model variant and
+/// hyperparameters.
+pub struct Experiment {
+    /// Model variant (vanilla DGCNN / AM-DGCNN / ablations).
+    pub gnn: GnnKind,
+    /// Table I hyperparameters.
+    pub hyper: Hyperparams,
+    /// Training settings (epochs are driven by the runner methods).
+    pub train: TrainConfig,
+}
+
+impl Experiment {
+    /// Experiment with default training settings at the given
+    /// hyperparameters.
+    pub fn new(gnn: GnnKind, hyper: Hyperparams, seed: u64) -> Self {
+        let train = TrainConfig {
+            lr: hyper.lr,
+            seed,
+            ..Default::default()
+        };
+        Self { gnn, hyper, train }
+    }
+
+    fn model_config(&self, ds: &Dataset, fcfg: &FeatureConfig) -> ModelConfig {
+        let mut cfg =
+            ModelConfig::dgcnn_defaults(self.gnn, fcfg.dim(), ds.edge_attrs.dim(), ds.num_classes);
+        cfg.hidden_dim = self.hyper.hidden_dim;
+        cfg.sort_k = self.hyper.sort_k;
+        cfg.num_relations = ds.graph.num_edge_types();
+        cfg
+    }
+
+    /// Prepare splits, build the model, train `epochs`, and evaluate on the
+    /// test split.
+    pub fn run(&self, ds: &Dataset, epochs: usize) -> EvalMetrics {
+        let session = self.session(ds, None);
+        self.run_session(session, &[epochs])
+            .pop()
+            .expect("one checkpoint requested")
+    }
+
+    /// Build a reusable session (prepared samples + fresh model).
+    pub fn session(&self, ds: &Dataset, train_subset: Option<usize>) -> Session {
+        let fcfg = FeatureConfig::for_graph(ds.graph.num_node_types());
+        let cfg = self.model_config(ds, &fcfg);
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(self.train.seed ^ 0x5eed_1a7e);
+        let model = DgcnnModel::new(cfg, &mut ps, &mut rng);
+        let train_links = match train_subset {
+            Some(n) => &ds.train[..n.min(ds.train.len())],
+            None => &ds.train[..],
+        };
+        Session {
+            model,
+            ps,
+            train_samples: prepare_batch(ds, train_links, &fcfg),
+            test_samples: prepare_batch(ds, &ds.test, &fcfg),
+            trainer: Trainer::new(self.train),
+        }
+    }
+
+    /// Train a session to each checkpoint in `epoch_checkpoints`
+    /// (ascending), evaluating on the test split at every checkpoint — the
+    /// shape of the paper's epoch sweeps (Figs. 3–6).
+    pub fn run_session(
+        &self,
+        mut session: Session,
+        epoch_checkpoints: &[usize],
+    ) -> Vec<EvalMetrics> {
+        let mut out = Vec::with_capacity(epoch_checkpoints.len());
+        for &target in epoch_checkpoints {
+            assert!(
+                target >= session.trainer.epochs_done(),
+                "checkpoints must be ascending"
+            );
+            let additional = target - session.trainer.epochs_done();
+            if additional > 0 {
+                session.trainer.train(
+                    &session.model,
+                    &mut session.ps,
+                    &session.train_samples,
+                    additional,
+                );
+            }
+            out.push(session.evaluate());
+        }
+        out
+    }
+}
+
+/// Training state bundled for incremental runs.
+pub struct Session {
+    /// The model under training.
+    pub model: DgcnnModel,
+    /// Its parameters.
+    pub ps: ParamStore,
+    /// Prepared training samples.
+    pub train_samples: Vec<PreparedSample>,
+    /// Prepared test samples.
+    pub test_samples: Vec<PreparedSample>,
+    /// Incremental trainer (owns optimizer state).
+    pub trainer: Trainer,
+}
+
+impl Session {
+    /// Evaluate the current parameters on the test split.
+    pub fn evaluate(&self) -> EvalMetrics {
+        evaluate_model(&self.model, &self.ps, &self.test_samples)
+    }
+}
+
+/// Compute the paper's metrics for a model on a sample batch.
+pub fn evaluate_model(
+    model: &impl crate::train::LinkModel,
+    ps: &ParamStore,
+    samples: &[PreparedSample],
+) -> EvalMetrics {
+    let probs = predict_probs(model, ps, samples);
+    let labels = labels_of(samples);
+    let preds = argmax_predictions(&probs);
+    EvalMetrics {
+        auc: macro_auc(&probs, &labels),
+        ap: average_precision(&preds, &labels, model.num_classes()),
+        accuracy: accuracy(&preds, &labels),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amdgcnn_data::{wn18_like, Wn18Config};
+
+    fn fast_hyper() -> Hyperparams {
+        Hyperparams {
+            lr: 5e-3,
+            hidden_dim: 8,
+            sort_k: 10,
+        }
+    }
+
+    #[test]
+    fn run_returns_sane_metrics() {
+        let ds = wn18_like(&Wn18Config::tiny());
+        let exp = Experiment::new(GnnKind::Gcn, fast_hyper(), 0);
+        let m = exp.run(&ds, 1);
+        assert!((0.0..=1.0).contains(&m.auc), "auc {}", m.auc);
+        assert!((0.0..=1.0).contains(&m.ap));
+        assert!((0.0..=1.0).contains(&m.accuracy));
+    }
+
+    #[test]
+    fn checkpointed_run_matches_oneshot() {
+        let ds = wn18_like(&Wn18Config::tiny());
+        let exp = Experiment::new(GnnKind::am_dgcnn(), fast_hyper(), 1);
+        // Train 1 then continue to 3 — final checkpoint must equal a fresh
+        // run trained straight to 3 epochs (incremental training is exact).
+        let stepped = exp.run_session(exp.session(&ds, None), &[1, 3]);
+        let direct = exp.run(&ds, 3);
+        assert_eq!(stepped.len(), 2);
+        assert_eq!(stepped[1], direct);
+    }
+
+    #[test]
+    fn train_subset_limits_samples() {
+        let ds = wn18_like(&Wn18Config::tiny());
+        let exp = Experiment::new(GnnKind::Gcn, fast_hyper(), 2);
+        let session = exp.session(&ds, Some(10));
+        assert_eq!(session.train_samples.len(), 10);
+        assert_eq!(session.test_samples.len(), ds.test.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn descending_checkpoints_rejected() {
+        let ds = wn18_like(&Wn18Config::tiny());
+        let exp = Experiment::new(GnnKind::Gcn, fast_hyper(), 3);
+        let _ = exp.run_session(exp.session(&ds, None), &[3, 1]);
+    }
+}

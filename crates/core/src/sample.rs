@@ -1,0 +1,150 @@
+//! Prepared training/evaluation samples: everything a model forward pass
+//! needs for one target link, precomputed once (subgraph, features,
+//! adjacency operators, expanded edge attributes).
+
+use crate::features::{build_node_features, FeatureConfig};
+use amdgcnn_data::{Dataset, LabeledLink};
+use amdgcnn_graph::khop::extract_enclosing_subgraph;
+use amdgcnn_graph::LocalEdge;
+use amdgcnn_nn::{gcn::GcnAdjacency, EdgeIndex};
+use amdgcnn_tensor::Matrix;
+use rayon::prelude::*;
+
+/// One fully prepared sample.
+#[derive(Debug, Clone)]
+pub struct PreparedSample {
+    /// Node attribute matrix `[N, feature_dim]`.
+    pub features: Matrix,
+    /// Directed message structure for GAT layers.
+    pub edge_index: EdgeIndex,
+    /// Normalized adjacency for GCN layers.
+    pub gcn_adj: GcnAdjacency,
+    /// Per-message edge attributes `[M, edge_dim]`, when the dataset has
+    /// them.
+    pub edge_attrs: Option<Matrix>,
+    /// Class label.
+    pub label: usize,
+    /// Subgraph node count.
+    pub num_nodes: usize,
+    /// Subgraph edge count (target link excluded).
+    pub num_edges: usize,
+    /// Raw induced edges in local indices (used by the WLNM baseline).
+    pub edges: Vec<LocalEdge>,
+    /// DRNL label per local node (locals 0 and 1 are the targets).
+    pub drnl: Vec<u32>,
+}
+
+/// Prepare one labeled link: extract the enclosing subgraph (target link
+/// hidden), label with DRNL, build features and both message-passing
+/// operators.
+pub fn prepare_sample(ds: &Dataset, link: &LabeledLink, fcfg: &FeatureConfig) -> PreparedSample {
+    let sub = extract_enclosing_subgraph(&ds.graph, link.u, link.v, &ds.subgraph);
+    let features = build_node_features(&sub, fcfg);
+    let undirected: Vec<(usize, usize)> = sub
+        .edges
+        .iter()
+        .map(|e| (e.u as usize, e.v as usize))
+        .collect();
+    let edge_index = EdgeIndex::from_undirected(sub.num_nodes(), &undirected);
+    let gcn_adj = GcnAdjacency::from_edges(sub.num_nodes(), &undirected);
+    let edge_attrs = (ds.edge_attrs.dim() > 0).then(|| {
+        let mut per_edge = Matrix::zeros(sub.edges.len(), ds.edge_attrs.dim());
+        for (i, e) in sub.edges.iter().enumerate() {
+            per_edge
+                .row_mut(i)
+                .copy_from_slice(ds.edge_attrs.row(e.etype));
+        }
+        edge_index.expand_edge_attrs(&per_edge)
+    });
+    PreparedSample {
+        features,
+        edge_index,
+        gcn_adj,
+        edge_attrs,
+        label: link.class,
+        num_nodes: sub.num_nodes(),
+        num_edges: sub.num_edges(),
+        edges: sub.edges.clone(),
+        drnl: sub.drnl.clone(),
+    }
+}
+
+/// Prepare a batch of links in parallel (order preserved).
+pub fn prepare_batch(
+    ds: &Dataset,
+    links: &[LabeledLink],
+    fcfg: &FeatureConfig,
+) -> Vec<PreparedSample> {
+    links
+        .par_iter()
+        .map(|l| prepare_sample(ds, l, fcfg))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amdgcnn_data::{cora_like, wn18_like, CoraConfig, Wn18Config};
+
+    #[test]
+    fn wn18_sample_has_edge_attrs() {
+        let ds = wn18_like(&Wn18Config::tiny());
+        let fcfg = FeatureConfig::for_graph(ds.graph.num_node_types());
+        let s = prepare_sample(&ds, &ds.train[0], &fcfg);
+        assert!(s.num_nodes >= 2);
+        assert_eq!(s.features.rows(), s.num_nodes);
+        assert_eq!(s.features.cols(), fcfg.dim());
+        let ea = s.edge_attrs.as_ref().expect("wn18 has edge attrs");
+        assert_eq!(ea.rows(), s.edge_index.num_messages());
+        assert_eq!(ea.cols(), 18);
+        assert_eq!(s.gcn_adj.num_nodes(), s.num_nodes);
+    }
+
+    #[test]
+    fn cora_sample_has_no_edge_attrs() {
+        let ds = cora_like(&CoraConfig::tiny());
+        let fcfg = FeatureConfig::for_graph(ds.graph.num_node_types());
+        let s = prepare_sample(&ds, &ds.train[0], &fcfg);
+        assert!(s.edge_attrs.is_none());
+    }
+
+    #[test]
+    fn target_link_never_appears_in_messages() {
+        // Locals 0 and 1 are the targets; no non-self-loop message may join
+        // them directly.
+        let ds = wn18_like(&Wn18Config::tiny());
+        let fcfg = FeatureConfig::for_graph(1);
+        for link in ds.train.iter().take(10) {
+            let s = prepare_sample(&ds, link, &fcfg);
+            for m in 0..s.edge_index.num_messages() {
+                let (src, dst) = (s.edge_index.src[m], s.edge_index.dst[m]);
+                assert!(
+                    !((src == 0 && dst == 1) || (src == 1 && dst == 0)),
+                    "target link leaked into message structure"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_preserves_order_and_labels() {
+        let ds = wn18_like(&Wn18Config::tiny());
+        let fcfg = FeatureConfig::for_graph(1);
+        let batch = prepare_batch(&ds, &ds.train[..8], &fcfg);
+        assert_eq!(batch.len(), 8);
+        for (s, l) in batch.iter().zip(ds.train.iter()) {
+            assert_eq!(s.label, l.class);
+        }
+    }
+
+    #[test]
+    fn preparation_is_deterministic() {
+        let ds = wn18_like(&Wn18Config::tiny());
+        let fcfg = FeatureConfig::for_graph(1);
+        let a = prepare_sample(&ds, &ds.train[3], &fcfg);
+        let b = prepare_sample(&ds, &ds.train[3], &fcfg);
+        assert_eq!(a.features, b.features);
+        assert_eq!(a.num_nodes, b.num_nodes);
+        assert_eq!(a.num_edges, b.num_edges);
+    }
+}

@@ -1,0 +1,27 @@
+//! # amdgcnn-nn
+//!
+//! Neural-network building blocks over `amdgcnn-tensor`: dense layers, GCN
+//! and GAT (with edge attributes) message passing, the DGCNN read-out
+//! convolutions, dropout, activations, and first-order optimizers.
+
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod conv;
+pub mod dropout;
+pub mod gat;
+pub mod gcn;
+pub mod linear;
+pub mod mlp;
+pub mod optim;
+pub mod rgcn;
+
+pub use activation::Activation;
+pub use conv::Conv1dLayer;
+pub use dropout::Dropout;
+pub use gat::{EdgeIndex, GatConfig, GatConv};
+pub use gcn::{GcnAdjacency, GcnConv};
+pub use linear::Linear;
+pub use mlp::Mlp;
+pub use optim::{Adam, Optimizer, Sgd};
+pub use rgcn::{RelationalEdges, RgcnConfig, RgcnConv};

@@ -1,0 +1,215 @@
+//! Parameter checkpointing: save/load a [`ParamStore`] to a compact
+//! self-describing binary format (no external serialization dependency —
+//! little-endian, versioned, name-checked on load).
+//!
+//! Format:
+//! ```text
+//! magic "AMDG" | u32 version | u32 param count |
+//!   per param: u32 name len | name bytes | u32 rows | u32 cols | f32 data...
+//! ```
+
+use crate::matrix::Matrix;
+use crate::param::ParamStore;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"AMDG";
+const VERSION: u32 = 1;
+
+/// Serialize every parameter (ids are positional, names included for
+/// verification).
+pub fn save_params<W: Write>(ps: &ParamStore, mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(ps.len() as u32).to_le_bytes())?;
+    for (id, value) in ps.iter() {
+        let name = ps.name(id).as_bytes();
+        w.write_all(&(name.len() as u32).to_le_bytes())?;
+        w.write_all(name)?;
+        w.write_all(&(value.rows() as u32).to_le_bytes())?;
+        w.write_all(&(value.cols() as u32).to_le_bytes())?;
+        for &v in value.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserialize into a fresh [`ParamStore`]. Ids are assigned in file order,
+/// which matches the registration order of an identically constructed
+/// model.
+pub fn load_params<R: Read>(mut r: R) -> io::Result<ParamStore> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported checkpoint version {version}"),
+        ));
+    }
+    let count = read_u32(&mut r)? as usize;
+    let mut ps = ParamStore::new();
+    for _ in 0..count {
+        let name_len = read_u32(&mut r)? as usize;
+        if name_len > 1 << 16 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "implausible name length",
+            ));
+        }
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 name"))?;
+        let rows = read_u32(&mut r)? as usize;
+        let cols = read_u32(&mut r)? as usize;
+        if rows.saturating_mul(cols) > 1 << 28 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "implausible tensor size",
+            ));
+        }
+        let mut data = vec![0f32; rows * cols];
+        let mut buf = [0u8; 4];
+        for v in &mut data {
+            r.read_exact(&mut buf)?;
+            *v = f32::from_le_bytes(buf);
+        }
+        ps.register(name, Matrix::from_vec(rows, cols, data));
+    }
+    Ok(ps)
+}
+
+/// Copy parameter values from `loaded` into `target`, verifying that
+/// names and shapes line up position-by-position (i.e. the two stores were
+/// built by the same model constructor).
+pub fn restore_into(target: &mut ParamStore, loaded: &ParamStore) -> io::Result<()> {
+    if target.len() != loaded.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "parameter count mismatch: {} vs {}",
+                target.len(),
+                loaded.len()
+            ),
+        ));
+    }
+    for (id, value) in loaded.iter() {
+        if target.name(id) != loaded.name(id) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "parameter {} name mismatch: {} vs {}",
+                    id.0,
+                    target.name(id),
+                    loaded.name(id)
+                ),
+            ));
+        }
+        if target.get(id).shape() != value.shape() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("parameter {} shape mismatch", loaded.name(id)),
+            ));
+        }
+        target.set(id, (**value).clone());
+    }
+    Ok(())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> ParamStore {
+        let mut ps = ParamStore::new();
+        ps.register(
+            "layer.weight",
+            Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32 * 0.5),
+        );
+        ps.register(
+            "layer.bias",
+            Matrix::from_vec(1, 4, vec![-1.0, 0.0, 1.0, 2.5]),
+        );
+        ps
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let ps = sample_store();
+        let mut buf = Vec::new();
+        save_params(&ps, &mut buf).expect("save");
+        let loaded = load_params(buf.as_slice()).expect("load");
+        assert_eq!(loaded.len(), ps.len());
+        for (id, value) in ps.iter() {
+            assert_eq!(loaded.name(id), ps.name(id));
+            assert_eq!(**loaded.get(id), **value);
+        }
+    }
+
+    #[test]
+    fn restore_into_matching_store() {
+        let trained = sample_store();
+        let mut buf = Vec::new();
+        save_params(&trained, &mut buf).expect("save");
+        let loaded = load_params(buf.as_slice()).expect("load");
+
+        // Fresh store with identical structure but different values.
+        let mut fresh = ParamStore::new();
+        fresh.register("layer.weight", Matrix::zeros(3, 4));
+        fresh.register("layer.bias", Matrix::zeros(1, 4));
+        restore_into(&mut fresh, &loaded).expect("restore");
+        assert_eq!(
+            **fresh.get(crate::param::ParamId(0)),
+            **trained.get(crate::param::ParamId(0))
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = load_params(&b"NOPE"[..]).expect_err("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let ps = sample_store();
+        let mut buf = Vec::new();
+        save_params(&ps, &mut buf).expect("save");
+        buf.truncate(buf.len() - 3);
+        assert!(load_params(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn restore_rejects_shape_mismatch() {
+        let trained = sample_store();
+        let mut buf = Vec::new();
+        save_params(&trained, &mut buf).expect("save");
+        let loaded = load_params(buf.as_slice()).expect("load");
+        let mut wrong = ParamStore::new();
+        wrong.register("layer.weight", Matrix::zeros(3, 4));
+        wrong.register("layer.bias", Matrix::zeros(1, 5)); // wrong width
+        assert!(restore_into(&mut wrong, &loaded).is_err());
+    }
+
+    #[test]
+    fn restore_rejects_name_mismatch() {
+        let trained = sample_store();
+        let mut buf = Vec::new();
+        save_params(&trained, &mut buf).expect("save");
+        let loaded = load_params(buf.as_slice()).expect("load");
+        let mut wrong = ParamStore::new();
+        wrong.register("other.weight", Matrix::zeros(3, 4));
+        wrong.register("layer.bias", Matrix::zeros(1, 4));
+        assert!(restore_into(&mut wrong, &loaded).is_err());
+    }
+}
