@@ -45,7 +45,7 @@ fn bench_epoch(c: &mut Criterion) {
                     lr: 5e-3,
                     ..Default::default()
                 });
-                trainer.train(&model, &mut ps, &samples, 1);
+                trainer.train(&model, &mut ps, &samples, 1).expect("train");
                 black_box(trainer.history.last().map(|e| e.loss))
             },
             criterion::BatchSize::LargeInput,
@@ -66,7 +66,7 @@ fn bench_epoch(c: &mut Criterion) {
                         lr: 5e-3,
                         ..Default::default()
                     });
-                    trainer.train(&model, &mut ps, &samples, 1);
+                    trainer.train(&model, &mut ps, &samples, 1).expect("train");
                     black_box(trainer.history.last().map(|e| e.loss))
                 })
             },

@@ -41,7 +41,9 @@ fn main() {
                 heads: 1,
             },
         ] {
-            let m = Experiment::new(gnn, tuned_hyper(bench), 0xab1).run(&ds, epochs);
+            let m = Experiment::new(gnn, tuned_hyper(bench), 0xab1)
+                .run(&ds, epochs)
+                .expect("run");
             println!(
                 "{:<14} {:<20} {:>8.3} {:>8.3} {:>8.3}",
                 ds.name,

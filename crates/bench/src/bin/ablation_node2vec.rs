@@ -45,7 +45,9 @@ fn run_variant(ds: &amdgcnn_data::Dataset, fcfg: &FeatureConfig, epochs: usize) 
         seed: 0xa5,
         ..Default::default()
     });
-    trainer.train(&model, &mut ps, &train, epochs);
+    trainer
+        .train(&model, &mut ps, &train, epochs)
+        .expect("train");
     evaluate_model(&model, &ps, &test)
 }
 

@@ -35,8 +35,9 @@ fn main() {
         let mean_nodes = probe.iter().map(|s| s.num_nodes as f64).sum::<f64>() / probe.len() as f64;
         let max_nodes = probe.iter().map(|s| s.num_nodes).max().unwrap_or(0);
         let mean_edges = probe.iter().map(|s| s.num_edges as f64).sum::<f64>() / probe.len() as f64;
-        let m =
-            Experiment::new(am_dgcnn_for(&ds), tuned_hyper(Bench::PrimeKg), 0xab2).run(&ds, epochs);
+        let m = Experiment::new(am_dgcnn_for(&ds), tuned_hyper(Bench::PrimeKg), 0xab2)
+            .run(&ds, epochs)
+            .expect("run");
         let label = format!("{mode:?}");
         println!(
             "{label:<14} mean nodes {mean_nodes:>6.1}  max {max_nodes:>4}  mean edges {mean_edges:>7.1}  auc {:.3}  ap {:.3}",

@@ -87,7 +87,9 @@ fn main() {
         ("am-dgcnn", am_dgcnn_for(&ds)),
         ("vanilla-dgcnn", GnnKind::Gcn),
     ] {
-        let m = Experiment::new(gnn, tuned_hyper(Bench::Cora), 0xba5e).run(&ds, epochs);
+        let m = Experiment::new(gnn, tuned_hyper(Bench::Cora), 0xba5e)
+            .run(&ds, epochs)
+            .expect("run");
         println!("{name:<26} auc {:.3}", m.auc);
         rows.push(BaselineRow {
             method: name.into(),

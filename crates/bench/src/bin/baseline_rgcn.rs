@@ -36,7 +36,9 @@ fn main() {
             GnnKind::Rgcn { num_bases: 8 },
             am_dgcnn_for(&ds),
         ] {
-            let m = Experiment::new(gnn, tuned_hyper(bench), 0x46c).run(&ds, epochs);
+            let m = Experiment::new(gnn, tuned_hyper(bench), 0x46c)
+                .run(&ds, epochs)
+                .expect("run");
             println!(
                 "{:<14} {:<16} {:>8.3} {:>8.3} {:>8.3}",
                 ds.name,

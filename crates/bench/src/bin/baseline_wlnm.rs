@@ -49,7 +49,9 @@ fn main() {
             seed: 0x317,
             ..Default::default()
         });
-        trainer.train(&wlnm, &mut ps, &train, epochs);
+        trainer
+            .train(&wlnm, &mut ps, &train, epochs)
+            .expect("train");
         let m = evaluate_model(&wlnm, &ps, &test);
         println!(
             "{:<14} {:<16} {:>8.3} {:>8.3} {:>8.3}",
@@ -62,7 +64,9 @@ fn main() {
         });
 
         for gnn in [GnnKind::Gcn, am_dgcnn_for(&ds)] {
-            let m = Experiment::new(gnn, tuned_hyper(bench), 0x317).run(&ds, epochs);
+            let m = Experiment::new(gnn, tuned_hyper(bench), 0x317)
+                .run(&ds, epochs)
+                .expect("run");
             println!(
                 "{:<14} {:<16} {:>8.3} {:>8.3} {:>8.3}",
                 ds.name,

@@ -1,0 +1,129 @@
+//! Serving-throughput benchmark: micro-batched + cached serving vs.
+//! one-at-a-time inference on a repeat-heavy query stream.
+//!
+//! ```text
+//! cargo run --release -p amdgcnn-bench --bin serve_throughput
+//! ```
+//!
+//! Trains AM-DGCNN briefly on the default WN18-like graph, saves and
+//! reloads the model artifact, then replays a hot-skewed workload (a few
+//! hot pairs dominate, as repeated lookups of popular entities do in a
+//! deployed KG service) through both serving paths and reports the
+//! speedup. Answers from both paths are compared bit-for-bit.
+
+use am_dgcnn::{Experiment, FeatureConfig, GnnKind, Hyperparams};
+use amdgcnn_data::{wn18_like, Wn18Config};
+use amdgcnn_serve::{
+    save_model, ArtifactMeta, BatchConfig, BatchServer, InferenceEngine, LinkQuery,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Total queries replayed through each serving path.
+const NUM_QUERIES: usize = 600;
+/// Distinct link pairs in the workload; the hot subset gets most traffic.
+const DISTINCT_PAIRS: usize = 48;
+/// Fraction of traffic that hits the 8 hottest pairs.
+const HOT_FRACTION: f64 = 0.8;
+const HOT_PAIRS: usize = 8;
+
+fn build_workload(pairs: &[LinkQuery], rng: &mut StdRng) -> Vec<LinkQuery> {
+    (0..NUM_QUERIES)
+        .map(|_| {
+            if rng.random_range(0.0..1.0) < HOT_FRACTION {
+                pairs[rng.random_range(0..HOT_PAIRS.min(pairs.len()))]
+            } else {
+                pairs[rng.random_range(0..pairs.len())]
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let ds = wn18_like(&Wn18Config::default());
+    println!(
+        "dataset: {} — {} nodes, {} edges, {} link classes",
+        ds.name,
+        ds.graph.num_nodes(),
+        ds.graph.num_edges(),
+        ds.num_classes
+    );
+
+    // Train a small model briefly: serving throughput, not accuracy, is
+    // under test here.
+    let hyper = Hyperparams {
+        lr: 5e-3,
+        hidden_dim: 16,
+        sort_k: 20,
+    };
+    let exp = Experiment::builder()
+        .gnn(GnnKind::am_dgcnn())
+        .hyper(hyper)
+        .seed(17)
+        .build();
+    let mut session = exp.session(&ds, Some(200)).expect("session");
+    session
+        .trainer
+        .train(&session.model, &mut session.ps, &session.train_samples, 2)
+        .expect("train");
+
+    // Persist and reload through the artifact format, as a real server
+    // process would.
+    let fcfg = FeatureConfig::for_graph(ds.graph.num_node_types());
+    let meta = ArtifactMeta::describe(&ds, &session.model.cfg, &fcfg, 2).expect("meta");
+    let mut artifact = Vec::new();
+    save_model(&meta, &session.ps, &mut artifact).expect("save");
+    println!("artifact: {} bytes\n", artifact.len());
+
+    let mut rng = StdRng::seed_from_u64(99);
+    let pairs: Vec<LinkQuery> = ds
+        .test
+        .iter()
+        .take(DISTINCT_PAIRS)
+        .map(|l| (l.u, l.v))
+        .collect();
+    let workload = build_workload(&pairs, &mut rng);
+
+    // Path A: one query at a time, no cache — the naive serving loop.
+    let plain = InferenceEngine::load(artifact.as_slice(), ds.clone(), 0).expect("engine");
+    let started = Instant::now();
+    let unbatched: Vec<Vec<f32>> = workload.iter().map(|&q| plain.predict_one(q)).collect();
+    let unbatched_elapsed = started.elapsed();
+    let unbatched_qps = NUM_QUERIES as f64 / unbatched_elapsed.as_secs_f64();
+    println!(
+        "one-at-a-time : {NUM_QUERIES} queries in {unbatched_elapsed:.2?}  ({unbatched_qps:.0} qps)"
+    );
+
+    // Path B: micro-batched server with the subgraph cache.
+    let engine = InferenceEngine::load(artifact.as_slice(), ds.clone(), 256).expect("engine");
+    let server = BatchServer::start(
+        engine,
+        BatchConfig {
+            max_batch: 32,
+            max_wait: Duration::from_millis(2),
+        },
+    );
+    let started = Instant::now();
+    let batched = server.submit_all(&workload);
+    let batched_elapsed = started.elapsed();
+    let batched_qps = NUM_QUERIES as f64 / batched_elapsed.as_secs_f64();
+    println!(
+        "micro-batched : {NUM_QUERIES} queries in {batched_elapsed:.2?}  ({batched_qps:.0} qps)"
+    );
+
+    assert_eq!(
+        unbatched, batched,
+        "batched serving must answer identically to one-at-a-time"
+    );
+
+    let speedup = batched_qps / unbatched_qps;
+    let stats = server.stats();
+    println!("\nserver stats  : {stats}");
+    println!("speedup       : {speedup:.2}x");
+    assert!(
+        speedup >= 2.0,
+        "micro-batched serving must be at least 2x one-at-a-time (got {speedup:.2}x)"
+    );
+    server.shutdown();
+}

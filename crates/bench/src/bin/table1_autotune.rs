@@ -51,7 +51,8 @@ fn main() {
         };
         let exp = Experiment::new(gnn, hyper, 0x7e5e);
         let metrics = exp
-            .run_session(exp.session(&ds, subset), &[6])
+            .run_session(exp.session(&ds, subset).expect("session"), &[6])
+            .expect("tuning run")
             .pop()
             .expect("one checkpoint");
         eprintln!(

@@ -50,8 +50,20 @@ pub struct ComparisonRow {
 /// Train both models with the given hyperparameters and compare (Table III
 /// row).
 pub fn compare_models(ds: &Dataset, hyper: Hyperparams, epochs: usize, seed: u64) -> ComparisonRow {
-    let am = Experiment::new(am_dgcnn_for(ds), hyper, seed).run(ds, epochs);
-    let vanilla = Experiment::new(GnnKind::Gcn, hyper, seed).run(ds, epochs);
+    let am = Experiment::builder()
+        .gnn(am_dgcnn_for(ds))
+        .hyper(hyper)
+        .seed(seed)
+        .build()
+        .run(ds, epochs)
+        .expect("comparison run");
+    let vanilla = Experiment::builder()
+        .gnn(GnnKind::Gcn)
+        .hyper(hyper)
+        .seed(seed)
+        .build()
+        .run(ds, epochs)
+        .expect("comparison run");
     ComparisonRow {
         dataset: ds.name.to_string(),
         am_dgcnn: am,
@@ -78,10 +90,22 @@ pub fn epoch_sweep(
     checkpoints: &[usize],
     seed: u64,
 ) -> Vec<SweepPoint> {
-    let am_exp = Experiment::new(am_dgcnn_for(ds), hyper, seed);
-    let am = am_exp.run_session(am_exp.session(ds, None), checkpoints);
-    let va_exp = Experiment::new(GnnKind::Gcn, hyper, seed);
-    let va = va_exp.run_session(va_exp.session(ds, None), checkpoints);
+    let am_exp = Experiment::builder()
+        .gnn(am_dgcnn_for(ds))
+        .hyper(hyper)
+        .seed(seed)
+        .build();
+    let am = am_exp
+        .run_session(am_exp.session(ds, None).expect("session"), checkpoints)
+        .expect("epoch sweep");
+    let va_exp = Experiment::builder()
+        .gnn(GnnKind::Gcn)
+        .hyper(hyper)
+        .seed(seed)
+        .build();
+    let va = va_exp
+        .run_session(va_exp.session(ds, None).expect("session"), checkpoints)
+        .expect("epoch sweep");
     checkpoints
         .iter()
         .zip(am.iter().zip(va.iter()))
@@ -105,14 +129,24 @@ pub fn sample_sweep(
     subset_sizes
         .iter()
         .map(|&n| {
-            let am_exp = Experiment::new(am_dgcnn_for(ds), hyper, seed);
+            let am_exp = Experiment::builder()
+                .gnn(am_dgcnn_for(ds))
+                .hyper(hyper)
+                .seed(seed)
+                .build();
             let am = am_exp
-                .run_session(am_exp.session(ds, Some(n)), &[epochs])
+                .run_session(am_exp.session(ds, Some(n)).expect("session"), &[epochs])
+                .expect("sample sweep")
                 .pop()
                 .expect("one");
-            let va_exp = Experiment::new(GnnKind::Gcn, hyper, seed);
+            let va_exp = Experiment::builder()
+                .gnn(GnnKind::Gcn)
+                .hyper(hyper)
+                .seed(seed)
+                .build();
             let va = va_exp
-                .run_session(va_exp.session(ds, Some(n)), &[epochs])
+                .run_session(va_exp.session(ds, Some(n)).expect("session"), &[epochs])
+                .expect("sample sweep")
                 .pop()
                 .expect("one");
             SweepPoint {

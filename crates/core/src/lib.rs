@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod features;
 pub mod metrics;
 pub mod model;
@@ -26,9 +27,12 @@ pub mod schedule;
 pub mod train;
 pub mod wlnm;
 
+pub use error::Error;
 pub use features::FeatureConfig;
 pub use model::{DgcnnModel, GnnKind, ModelConfig};
-pub use pipeline::{evaluate_model, EvalMetrics, Experiment, Hyperparams, Session};
+pub use pipeline::{
+    evaluate_model, EvalMetrics, Experiment, ExperimentBuilder, Hyperparams, Session,
+};
 pub use sample::{prepare_batch, prepare_sample, PreparedSample};
 pub use schedule::{EarlyStopping, LrSchedule};
 pub use train::{predict_probs, LinkModel, TrainConfig, Trainer};

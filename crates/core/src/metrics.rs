@@ -89,14 +89,14 @@ pub fn average_precision(preds: &[usize], labels: &[usize], num_classes: usize) 
     let cm = confusion_matrix(preds, labels, num_classes);
     let mut total = 0.0f64;
     let mut counted = 0usize;
-    for c in 0..num_classes {
-        let support: usize = cm[c].iter().sum();
+    for (c, row) in cm.iter().enumerate() {
+        let support: usize = row.iter().sum();
         if support == 0 {
             continue; // class absent from the labels
         }
         counted += 1;
-        let tp = cm[c][c];
-        let predicted: usize = (0..num_classes).map(|l| cm[l][c]).sum();
+        let tp = row[c];
+        let predicted: usize = cm.iter().map(|l| l[c]).sum();
         if predicted > 0 {
             total += tp as f64 / predicted as f64;
         }

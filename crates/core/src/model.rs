@@ -28,7 +28,7 @@ use amdgcnn_tensor::{Conv1dSpec, ParamStore, Tape, Var};
 use rand::rngs::StdRng;
 
 /// Which message-passing family the DGCNN skeleton uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum GnnKind {
     /// Graph convolutions (vanilla DGCNN — cannot see edge attributes).
     Gcn,
@@ -76,7 +76,7 @@ impl GnnKind {
 
 /// Model hyperparameters. `hidden_dim` and `sort_k` are the Table I search
 /// dimensions; the rest are DGCNN architecture constants.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ModelConfig {
     /// Message-passing family.
     pub gnn: GnnKind,

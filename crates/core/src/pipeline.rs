@@ -2,10 +2,12 @@
 //! model → metrics. This is the API the paper's tables and figures are
 //! regenerated through (crates/bench) and the entry point for examples.
 
+use crate::error::{Error, Result};
 use crate::features::FeatureConfig;
 use crate::metrics::{accuracy, argmax_predictions, average_precision, macro_auc};
 use crate::model::{DgcnnModel, GnnKind, ModelConfig};
 use crate::sample::{prepare_batch, PreparedSample};
+use crate::schedule::LrSchedule;
 use crate::train::{labels_of, predict_probs, TrainConfig, Trainer};
 use amdgcnn_data::Dataset;
 use amdgcnn_tensor::ParamStore;
@@ -45,7 +47,8 @@ pub struct EvalMetrics {
 }
 
 /// A runnable experiment binding a dataset to a model variant and
-/// hyperparameters.
+/// hyperparameters. Construct with [`Experiment::builder`] (or the
+/// [`Experiment::new`] shorthand for defaults).
 pub struct Experiment {
     /// Model variant (vanilla DGCNN / AM-DGCNN / ablations).
     pub gnn: GnnKind,
@@ -53,18 +56,110 @@ pub struct Experiment {
     pub hyper: Hyperparams,
     /// Training settings (epochs are driven by the runner methods).
     pub train: TrainConfig,
+    /// Learning-rate schedule applied by sessions built from this
+    /// experiment.
+    pub schedule: LrSchedule,
+}
+
+/// Fluent construction of an [`Experiment`] — the supported way to deviate
+/// from the defaults without reaching into [`TrainConfig`] fields.
+///
+/// ```
+/// use am_dgcnn::pipeline::Experiment;
+/// use am_dgcnn::model::GnnKind;
+/// use am_dgcnn::schedule::LrSchedule;
+///
+/// let exp = Experiment::builder()
+///     .gnn(GnnKind::am_dgcnn())
+///     .seed(7)
+///     .batch_size(32)
+///     .schedule(LrSchedule::StepDecay { every: 10, gamma: 0.5 })
+///     .build();
+/// assert_eq!(exp.train.batch_size, 32);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExperimentBuilder {
+    gnn: GnnKind,
+    hyper: Hyperparams,
+    train: TrainConfig,
+    schedule: LrSchedule,
+}
+
+impl Default for ExperimentBuilder {
+    fn default() -> Self {
+        let hyper = Hyperparams::default();
+        Self {
+            gnn: GnnKind::am_dgcnn(),
+            train: TrainConfig {
+                lr: hyper.lr,
+                ..Default::default()
+            },
+            hyper,
+            schedule: LrSchedule::Constant,
+        }
+    }
+}
+
+impl ExperimentBuilder {
+    /// Model variant (default: AM-DGCNN).
+    pub fn gnn(mut self, gnn: GnnKind) -> Self {
+        self.gnn = gnn;
+        self
+    }
+
+    /// Table I hyperparameters; also adopts `hyper.lr` as the training
+    /// learning rate.
+    pub fn hyper(mut self, hyper: Hyperparams) -> Self {
+        self.train.lr = hyper.lr;
+        self.hyper = hyper;
+        self
+    }
+
+    /// Seed for parameter init, shuffling, and dropout.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.train.seed = seed;
+        self
+    }
+
+    /// Learning-rate schedule (default: constant).
+    pub fn schedule(mut self, schedule: LrSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Samples per gradient step.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.train.batch_size = batch_size;
+        self
+    }
+
+    /// Global-norm gradient clip; `None` disables clipping.
+    pub fn grad_clip(mut self, clip: Option<f32>) -> Self {
+        self.train.grad_clip = clip;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Experiment {
+        Experiment {
+            gnn: self.gnn,
+            hyper: self.hyper,
+            train: self.train,
+            schedule: self.schedule,
+        }
+    }
 }
 
 impl Experiment {
+    /// Start building an experiment fluently.
+    pub fn builder() -> ExperimentBuilder {
+        ExperimentBuilder::default()
+    }
+
     /// Experiment with default training settings at the given
-    /// hyperparameters.
+    /// hyperparameters — a thin shim over [`Experiment::builder`].
     pub fn new(gnn: GnnKind, hyper: Hyperparams, seed: u64) -> Self {
-        let train = TrainConfig {
-            lr: hyper.lr,
-            seed,
-            ..Default::default()
-        };
-        Self { gnn, hyper, train }
+        Self::builder().gnn(gnn).hyper(hyper).seed(seed).build()
     }
 
     fn model_config(&self, ds: &Dataset, fcfg: &FeatureConfig) -> ModelConfig {
@@ -78,47 +173,65 @@ impl Experiment {
 
     /// Prepare splits, build the model, train `epochs`, and evaluate on the
     /// test split.
-    pub fn run(&self, ds: &Dataset, epochs: usize) -> EvalMetrics {
-        let session = self.session(ds, None);
-        self.run_session(session, &[epochs])
+    pub fn run(&self, ds: &Dataset, epochs: usize) -> Result<EvalMetrics> {
+        let session = self.session(ds, None)?;
+        Ok(self
+            .run_session(session, &[epochs])?
             .pop()
-            .expect("one checkpoint requested")
+            .expect("one checkpoint requested"))
     }
 
     /// Build a reusable session (prepared samples + fresh model).
-    pub fn session(&self, ds: &Dataset, train_subset: Option<usize>) -> Session {
+    ///
+    /// # Errors
+    /// [`Error::SubsetTooLarge`] when `train_subset` exceeds the training
+    /// split.
+    pub fn session(&self, ds: &Dataset, train_subset: Option<usize>) -> Result<Session> {
         let fcfg = FeatureConfig::for_graph(ds.graph.num_node_types());
         let cfg = self.model_config(ds, &fcfg);
         let mut ps = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(self.train.seed ^ 0x5eed_1a7e);
         let model = DgcnnModel::new(cfg, &mut ps, &mut rng);
         let train_links = match train_subset {
-            Some(n) => &ds.train[..n.min(ds.train.len())],
+            Some(n) if n > ds.train.len() => {
+                return Err(Error::SubsetTooLarge {
+                    requested: n,
+                    available: ds.train.len(),
+                })
+            }
+            Some(n) => &ds.train[..n],
             None => &ds.train[..],
         };
-        Session {
+        Ok(Session {
             model,
             ps,
             train_samples: prepare_batch(ds, train_links, &fcfg),
             test_samples: prepare_batch(ds, &ds.test, &fcfg),
-            trainer: Trainer::new(self.train),
-        }
+            trainer: Trainer::new(self.train).with_schedule(self.schedule),
+        })
     }
 
     /// Train a session to each checkpoint in `epoch_checkpoints`
     /// (ascending), evaluating on the test split at every checkpoint — the
     /// shape of the paper's epoch sweeps (Figs. 3–6).
+    ///
+    /// # Errors
+    /// [`Error::DescendingCheckpoints`] when a checkpoint lies behind the
+    /// session's training progress; [`Error::EmptySplit`] when the session
+    /// has no training samples and a checkpoint requires training.
     pub fn run_session(
         &self,
         mut session: Session,
         epoch_checkpoints: &[usize],
-    ) -> Vec<EvalMetrics> {
+    ) -> Result<Vec<EvalMetrics>> {
         let mut out = Vec::with_capacity(epoch_checkpoints.len());
         for &target in epoch_checkpoints {
-            assert!(
-                target >= session.trainer.epochs_done(),
-                "checkpoints must be ascending"
-            );
+            if target < session.trainer.epochs_done() {
+                return Err(Error::DescendingCheckpoints {
+                    epochs_done: session.trainer.epochs_done(),
+                    requested: target,
+                });
+            }
             let additional = target - session.trainer.epochs_done();
             if additional > 0 {
                 session.trainer.train(
@@ -126,11 +239,11 @@ impl Experiment {
                     &mut session.ps,
                     &session.train_samples,
                     additional,
-                );
+                )?;
             }
             out.push(session.evaluate());
         }
-        out
+        Ok(out)
     }
 }
 
@@ -188,7 +301,7 @@ mod tests {
     fn run_returns_sane_metrics() {
         let ds = wn18_like(&Wn18Config::tiny());
         let exp = Experiment::new(GnnKind::Gcn, fast_hyper(), 0);
-        let m = exp.run(&ds, 1);
+        let m = exp.run(&ds, 1).expect("run");
         assert!((0.0..=1.0).contains(&m.auc), "auc {}", m.auc);
         assert!((0.0..=1.0).contains(&m.ap));
         assert!((0.0..=1.0).contains(&m.accuracy));
@@ -200,8 +313,10 @@ mod tests {
         let exp = Experiment::new(GnnKind::am_dgcnn(), fast_hyper(), 1);
         // Train 1 then continue to 3 — final checkpoint must equal a fresh
         // run trained straight to 3 epochs (incremental training is exact).
-        let stepped = exp.run_session(exp.session(&ds, None), &[1, 3]);
-        let direct = exp.run(&ds, 3);
+        let stepped = exp
+            .run_session(exp.session(&ds, None).expect("session"), &[1, 3])
+            .expect("checkpoints");
+        let direct = exp.run(&ds, 3).expect("run");
         assert_eq!(stepped.len(), 2);
         assert_eq!(stepped[1], direct);
     }
@@ -210,16 +325,71 @@ mod tests {
     fn train_subset_limits_samples() {
         let ds = wn18_like(&Wn18Config::tiny());
         let exp = Experiment::new(GnnKind::Gcn, fast_hyper(), 2);
-        let session = exp.session(&ds, Some(10));
+        let session = exp.session(&ds, Some(10)).expect("session");
         assert_eq!(session.train_samples.len(), 10);
         assert_eq!(session.test_samples.len(), ds.test.len());
     }
 
     #[test]
-    #[should_panic(expected = "ascending")]
+    fn oversized_subset_is_an_error() {
+        let ds = wn18_like(&Wn18Config::tiny());
+        let exp = Experiment::new(GnnKind::Gcn, fast_hyper(), 2);
+        let requested = ds.train.len() + 1;
+        let err = exp.session(&ds, Some(requested)).err().expect("error");
+        assert_eq!(
+            err,
+            Error::SubsetTooLarge {
+                requested,
+                available: ds.train.len(),
+            }
+        );
+    }
+
+    #[test]
     fn descending_checkpoints_rejected() {
         let ds = wn18_like(&Wn18Config::tiny());
         let exp = Experiment::new(GnnKind::Gcn, fast_hyper(), 3);
-        let _ = exp.run_session(exp.session(&ds, None), &[3, 1]);
+        let err = exp
+            .run_session(exp.session(&ds, None).expect("session"), &[3, 1])
+            .expect_err("error");
+        assert_eq!(
+            err,
+            Error::DescendingCheckpoints {
+                epochs_done: 3,
+                requested: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn builder_matches_new_and_sets_knobs() {
+        let ds = wn18_like(&Wn18Config::tiny());
+        let via_new = Experiment::new(GnnKind::Gcn, fast_hyper(), 5);
+        let via_builder = Experiment::builder()
+            .gnn(GnnKind::Gcn)
+            .hyper(fast_hyper())
+            .seed(5)
+            .build();
+        assert_eq!(
+            via_new.run(&ds, 1).expect("run"),
+            via_builder.run(&ds, 1).expect("run"),
+            "builder defaults must match Experiment::new"
+        );
+
+        let tuned = Experiment::builder()
+            .batch_size(4)
+            .grad_clip(None)
+            .schedule(LrSchedule::StepDecay {
+                every: 1,
+                gamma: 0.5,
+            })
+            .build();
+        assert_eq!(tuned.train.batch_size, 4);
+        assert_eq!(tuned.train.grad_clip, None);
+        let session = tuned.session(&ds, Some(4)).expect("session");
+        assert!(matches!(
+            session.trainer.schedule(),
+            LrSchedule::StepDecay { .. }
+        ));
     }
 }

@@ -6,6 +6,7 @@
 //! parallel map followed by an ordered fold — so training is bit-for-bit
 //! reproducible for a fixed seed regardless of thread scheduling.
 
+use crate::error::{Error, Result};
 use crate::sample::PreparedSample;
 use crate::schedule::LrSchedule;
 use amdgcnn_nn::{Adam, Optimizer};
@@ -108,15 +109,27 @@ impl Trainer {
         self.optimizer.learning_rate()
     }
 
+    /// The learning-rate schedule in effect.
+    pub fn schedule(&self) -> LrSchedule {
+        self.schedule
+    }
+
     /// Train for `epochs` additional epochs.
+    ///
+    /// # Errors
+    /// [`Error::EmptySplit`] when `samples` is empty — there is nothing to
+    /// fit, and silently "training" zero samples would desynchronize the
+    /// epoch counter from the optimizer state.
     pub fn train(
         &mut self,
         model: &impl LinkModel,
         ps: &mut ParamStore,
         samples: &[PreparedSample],
         epochs: usize,
-    ) {
-        assert!(!samples.is_empty(), "cannot train on an empty split");
+    ) -> Result<()> {
+        if samples.is_empty() {
+            return Err(Error::EmptySplit);
+        }
         for _ in 0..epochs {
             self.epoch += 1;
             self.optimizer
@@ -164,6 +177,7 @@ impl Trainer {
                 loss: (epoch_loss / samples.len() as f64) as f32,
             });
         }
+        Ok(())
     }
 }
 
@@ -227,7 +241,7 @@ mod tests {
             lr: 5e-3,
             ..Default::default()
         });
-        trainer.train(&model, &mut ps, &samples, 8);
+        trainer.train(&model, &mut ps, &samples, 8).expect("train");
         let first = trainer.history.first().expect("history").loss;
         let last = trainer.history.last().expect("history").loss;
         assert!(
@@ -245,7 +259,7 @@ mod tests {
                 seed: 42,
                 ..Default::default()
             });
-            trainer.train(&model, &mut ps, &samples, 3);
+            trainer.train(&model, &mut ps, &samples, 3).expect("train");
             let probs = predict_probs(&model, &ps, &samples);
             (
                 trainer.history.iter().map(|e| e.loss).collect::<Vec<_>>(),
@@ -280,9 +294,9 @@ mod tests {
             lr: 5e-3,
             ..Default::default()
         });
-        trainer.train(&model, &mut ps, &samples, 2);
+        trainer.train(&model, &mut ps, &samples, 2).expect("train");
         assert_eq!(trainer.epochs_done(), 2);
-        trainer.train(&model, &mut ps, &samples, 3);
+        trainer.train(&model, &mut ps, &samples, 3).expect("train");
         assert_eq!(trainer.epochs_done(), 5);
         assert_eq!(trainer.history.len(), 5);
         // Epoch indices are contiguous.
@@ -302,11 +316,11 @@ mod tests {
             every: 1,
             gamma: 0.5,
         });
-        trainer.train(&model, &mut ps, &samples, 1);
+        trainer.train(&model, &mut ps, &samples, 1).expect("train");
         assert!((trainer.current_lr() - 0.8).abs() < 1e-6);
-        trainer.train(&model, &mut ps, &samples, 1);
+        trainer.train(&model, &mut ps, &samples, 1).expect("train");
         assert!((trainer.current_lr() - 0.4).abs() < 1e-6);
-        trainer.train(&model, &mut ps, &samples, 2);
+        trainer.train(&model, &mut ps, &samples, 2).expect("train");
         assert!((trainer.current_lr() - 0.1).abs() < 1e-6);
     }
 
@@ -321,10 +335,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty split")]
     fn empty_split_rejected() {
         let (model, mut ps, _) = tiny_setup(GnnKind::Gcn);
         let mut trainer = Trainer::new(TrainConfig::default());
-        trainer.train(&model, &mut ps, &[], 1);
+        let err = trainer.train(&model, &mut ps, &[], 1).unwrap_err();
+        assert_eq!(err, Error::EmptySplit);
+        assert_eq!(
+            trainer.epochs_done(),
+            0,
+            "failed call must not advance epochs"
+        );
     }
 }

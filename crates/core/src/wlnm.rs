@@ -213,7 +213,7 @@ mod tests {
             seed: 1,
             ..Default::default()
         });
-        trainer.train(&model, &mut ps, &train, 12);
+        trainer.train(&model, &mut ps, &train, 12).expect("train");
         let m = evaluate_model(&model, &ps, &test);
         assert!(
             m.auc > 0.6,

@@ -60,9 +60,9 @@ proptest! {
         let labels: Vec<usize> = pairs.iter().map(|&(l, _)| l).collect();
         let preds: Vec<usize> = pairs.iter().map(|&(_, p)| p).collect();
         let cm = confusion_matrix(&preds, &labels, 4);
-        for c in 0..4 {
+        for (c, row) in cm.iter().enumerate() {
             let count = labels.iter().filter(|&&l| l == c).count();
-            let row_sum: usize = cm[c].iter().sum();
+            let row_sum: usize = row.iter().sum();
             prop_assert_eq!(count, row_sum);
         }
         // Trace / total == accuracy.

@@ -93,7 +93,7 @@ impl Default for BioKgConfig {
             background_links_per_family: 800,
             train_links: 360,
             test_links: 120,
-            seed: 0xb10_46,
+            seed: 0xb1046,
         }
     }
 }
@@ -127,11 +127,11 @@ pub fn biokg_like(cfg: &BioKgConfig) -> Dataset {
     );
 
     let mut node_types = Vec::new();
-    node_types.extend(std::iter::repeat(node_type::PROTEIN).take(np));
-    node_types.extend(std::iter::repeat(node_type::DRUG).take(ndr));
-    node_types.extend(std::iter::repeat(node_type::DISEASE).take(ndi));
-    node_types.extend(std::iter::repeat(node_type::FUNCTION).take(nf));
-    node_types.extend(std::iter::repeat(node_type::SIDE_EFFECT).take(ns));
+    node_types.extend(std::iter::repeat_n(node_type::PROTEIN, np));
+    node_types.extend(std::iter::repeat_n(node_type::DRUG, ndr));
+    node_types.extend(std::iter::repeat_n(node_type::DISEASE, ndi));
+    node_types.extend(std::iter::repeat_n(node_type::FUNCTION, nf));
+    node_types.extend(std::iter::repeat_n(node_type::SIDE_EFFECT, ns));
     let mut b = GraphBuilder::with_node_types(node_types);
 
     let protein_id = |p: usize| p as u32;
@@ -144,7 +144,7 @@ pub fn biokg_like(cfg: &BioKgConfig) -> Dataset {
     let family: Vec<usize> = (0..np).map(|_| rng.random_range(0..NUM_FAMILIES)).collect();
 
     // Family-advertising protein–function edges.
-    for p in 0..np {
+    for (p, &fam) in family.iter().enumerate() {
         let deg = rng.random_range(cfg.function_degree.0..=cfg.function_degree.1);
         let mut chosen = HashSet::new();
         while chosen.len() < deg.min(nf) {
@@ -154,7 +154,7 @@ pub fn biokg_like(cfg: &BioKgConfig) -> Dataset {
             let rel = if rng.random::<f64>() < cfg.function_noise {
                 FUNCTION_REL_BASE + rng.random_range(0..NUM_FAMILIES) as u16
             } else {
-                FUNCTION_REL_BASE + family[p] as u16
+                FUNCTION_REL_BASE + fam as u16
             };
             b.add_edge(protein_id(p), function_id(f), rel);
         }

@@ -172,9 +172,9 @@ pub fn primekg_like(cfg: &PrimeKgConfig) -> Dataset {
 
     // Node layout: [drugs | diseases | proteins | 7 x other scales].
     let mut node_types = Vec::new();
-    node_types.extend(std::iter::repeat(node_type::DRUG).take(nd));
-    node_types.extend(std::iter::repeat(node_type::DISEASE).take(nz));
-    node_types.extend(std::iter::repeat(node_type::PROTEIN).take(np));
+    node_types.extend(std::iter::repeat_n(node_type::DRUG, nd));
+    node_types.extend(std::iter::repeat_n(node_type::DISEASE, nz));
+    node_types.extend(std::iter::repeat_n(node_type::PROTEIN, np));
     for t in [
         node_type::PHENOTYPE,
         node_type::EXPOSURE,
@@ -184,7 +184,7 @@ pub fn primekg_like(cfg: &PrimeKgConfig) -> Dataset {
         node_type::CELLCOMP,
         node_type::MOLFUNC,
     ] {
-        node_types.extend(std::iter::repeat(t).take(no));
+        node_types.extend(std::iter::repeat_n(t, no));
     }
     let mut b = GraphBuilder::with_node_types(node_types);
 
@@ -222,14 +222,14 @@ pub fn primekg_like(cfg: &PrimeKgConfig) -> Dataset {
             drug_proteins[d].push((p, s));
         }
     }
-    for z in 0..nz {
+    for (z, &mech) in disease_mech.iter().enumerate() {
         let deg = rng.random_range(cfg.disease_degree.0..=cfg.disease_degree.1);
         let mut chosen = HashSet::new();
         while chosen.len() < deg.min(np) {
             chosen.insert(rng.random_range(0..np));
         }
         for p in chosen {
-            let s = sample_sign(&mut rng, disease_mech[z], cfg.mechanism_bias);
+            let s = sample_sign(&mut rng, mech, cfg.mechanism_bias);
             let etype = if s > 0 {
                 relation::DISEASE_PROTEIN_POS
             } else {

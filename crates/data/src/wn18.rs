@@ -159,9 +159,9 @@ mod tests {
     #[test]
     fn relation_table_is_symmetric_with_distinguishable_rows() {
         let t = relation_table();
-        for i in 0..NUM_FIELDS {
-            for j in 0..NUM_FIELDS {
-                assert_eq!(t[i][j], t[j][i]);
+        for (i, row) in t.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, t[j][i]);
             }
         }
         // Row multisets must differ pairwise, otherwise fields are not
@@ -216,7 +216,7 @@ mod tests {
         // relation classes, then look the pair up in the table.
         let field_of = |node: u32, skip: (u32, u32)| -> usize {
             let mut scores = [0i64; NUM_FIELDS];
-            for &(nb, eid) in ds.graph.neighbors(node) {
+            for &(_nb, eid) in ds.graph.neighbors(node) {
                 let e = ds.graph.edge(eid);
                 if (e.u.min(e.v), e.u.max(e.v)) == skip {
                     continue; // don't peek at the target link

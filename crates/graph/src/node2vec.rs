@@ -96,11 +96,10 @@ pub fn node2vec_embeddings(g: &KnowledgeGraph, cfg: &Node2VecConfig) -> NodeEmbe
             for (i, &center) in walk.iter().enumerate() {
                 let lo = i.saturating_sub(cfg.window);
                 let hi = (i + cfg.window + 1).min(walk.len());
-                for j in lo..hi {
+                for (j, &context) in walk.iter().enumerate().take(hi).skip(lo) {
                     if j == i {
                         continue;
                     }
-                    let context = walk[j];
                     grad_center.iter_mut().for_each(|v| *v = 0.0);
                     // Positive pair plus `negatives` sampled negatives.
                     for neg in 0..=cfg.negatives {

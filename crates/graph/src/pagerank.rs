@@ -63,13 +63,13 @@ pub fn personalized_pagerank(
             *slot = (1.0 - cfg.damping) * restart(i);
         }
         let mut dangling_mass = 0.0;
-        for u in 0..n {
+        for (u, &rank_u) in rank.iter().enumerate() {
             let deg = g.degree(u as u32);
             if deg == 0 {
-                dangling_mass += rank[u];
+                dangling_mass += rank_u;
                 continue;
             }
-            let share = cfg.damping * rank[u] / deg as f64;
+            let share = cfg.damping * rank_u / deg as f64;
             for v in g.neighbor_ids(u as u32) {
                 next[v as usize] += share;
             }

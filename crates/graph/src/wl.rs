@@ -70,7 +70,7 @@ pub fn wlnm_order(g: &KnowledgeGraph, initial: &[u64], max_rounds: usize) -> Vec
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::graph::{GraphBuilder, KnowledgeGraph};
+    use crate::graph::KnowledgeGraph;
 
     /// Path 0-1-2-3-4.
     fn path5() -> KnowledgeGraph {

@@ -1,0 +1,334 @@
+//! The inference engine: a loaded model plus the dataset graph, answering
+//! `(u, v)` link queries by extracting the enclosing subgraph on the fly —
+//! exactly the training-time [`prepare_sample`] path — with an LRU cache of
+//! prepared subgraphs (and their memoized, deterministic answers) in front
+//! of the extractor.
+
+use crate::artifact::{instantiate, load_model, ArtifactMeta};
+use crate::stats::{ServerStats, StatsCollector};
+use am_dgcnn::{prepare_sample, DgcnnModel, FeatureConfig, LinkModel, PreparedSample};
+use amdgcnn_data::{Dataset, LabeledLink};
+use amdgcnn_tensor::{ParamStore, Tape};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::io::{self, Read};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A link query: classify the relation between two node ids of the served
+/// graph.
+pub type LinkQuery = (u32, u32);
+
+/// Class-probability answer for one query (`num_classes` entries, sums
+/// to 1).
+pub type ClassProbs = Vec<f32>;
+
+/// One cached unit of serving work: the prepared subgraph, plus the
+/// forward-pass answer once some batch has computed it.
+///
+/// The engine's parameters are immutable and the forward pass is
+/// deterministic, so a pair's probabilities never change for the lifetime
+/// of the engine — memoizing them next to the subgraph is sound and lets a
+/// repeat query skip the forward pass entirely, not just the extraction.
+struct CacheEntry {
+    sample: PreparedSample,
+    probs: OnceLock<ClassProbs>,
+}
+
+/// Bounded map from query to [`CacheEntry`], evicting the
+/// least-recently-used entry when full.
+///
+/// Subgraph extraction + DRNL + feature building + the forward pass make
+/// up essentially all of single-query latency, so re-serving a recently
+/// seen pair from this cache is the main throughput lever on repeat-heavy
+/// workloads.
+struct LruCache {
+    capacity: usize,
+    map: HashMap<LinkQuery, (Arc<CacheEntry>, u64)>,
+    clock: u64,
+}
+
+impl LruCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1024)),
+            clock: 0,
+        }
+    }
+
+    fn get(&mut self, key: &LinkQuery) -> Option<Arc<CacheEntry>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(key).map(|(v, stamp)| {
+            *stamp = clock;
+            Arc::clone(v)
+        })
+    }
+
+    fn insert(&mut self, key: LinkQuery, value: Arc<CacheEntry>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            // O(n) victim scan: capacities are small (hundreds), and this
+            // only runs on misses that already paid a full extraction.
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| *k)
+            {
+                self.map.remove(&victim);
+            }
+        }
+        self.map.insert(key, (value, self.clock));
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// A loaded model bound to the graph it serves.
+///
+/// The engine is immutable once constructed (the cache and counters use
+/// interior mutability), so it can be shared behind an `Arc` between a
+/// request thread and the batching worker.
+pub struct InferenceEngine {
+    meta: ArtifactMeta,
+    model: DgcnnModel,
+    ps: ParamStore,
+    ds: Dataset,
+    fcfg: FeatureConfig,
+    cache: Mutex<LruCache>,
+    pub(crate) stats: StatsCollector,
+}
+
+impl InferenceEngine {
+    /// Bind a loaded artifact to the dataset graph it will serve.
+    ///
+    /// # Errors
+    /// `InvalidData` when the artifact was trained on a different dataset
+    /// (by name) or its class count disagrees with the graph's.
+    pub fn new(
+        meta: ArtifactMeta,
+        loaded: &ParamStore,
+        ds: Dataset,
+        cache_capacity: usize,
+    ) -> io::Result<Self> {
+        if meta.dataset != ds.name {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "artifact was trained on dataset {:?} but the engine was \
+                     given {:?}",
+                    meta.dataset, ds.name
+                ),
+            ));
+        }
+        if meta.model.num_classes != ds.num_classes {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "artifact predicts {} classes but the dataset defines {}",
+                    meta.model.num_classes, ds.num_classes
+                ),
+            ));
+        }
+        let (model, ps) = instantiate(&meta, loaded)?;
+        let fcfg = meta.features.to_config();
+        Ok(Self {
+            meta,
+            model,
+            ps,
+            ds,
+            fcfg,
+            cache: Mutex::new(LruCache::new(cache_capacity)),
+            stats: StatsCollector::default(),
+        })
+    }
+
+    /// Read an artifact from `r` and bind it to `ds` in one step.
+    pub fn load<R: Read>(r: R, ds: Dataset, cache_capacity: usize) -> io::Result<Self> {
+        let (meta, loaded) = load_model(r)?;
+        Self::new(meta, &loaded, ds, cache_capacity)
+    }
+
+    /// Artifact metadata this engine was built from.
+    pub fn meta(&self) -> &ArtifactMeta {
+        &self.meta
+    }
+
+    /// The served dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.ds
+    }
+
+    /// Current number of cached prepared subgraphs.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().expect("cache lock").len()
+    }
+
+    /// Snapshot of the engine's counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats.snapshot()
+    }
+
+    /// Forward pass for one prepared subgraph — the same op sequence as
+    /// training-time [`am_dgcnn::predict_probs`], so cached and fresh
+    /// answers are bit-identical to it.
+    fn forward(&self, sample: &PreparedSample) -> ClassProbs {
+        let mut tape = Tape::new();
+        let logits = self.model.forward_sample(&mut tape, &self.ps, sample, None);
+        let probs = tape.softmax_rows(logits);
+        tape.value(probs).row(0).to_vec()
+    }
+
+    /// Answer a batch of link queries: per-query class probabilities, in
+    /// query order.
+    ///
+    /// Duplicate pairs inside the batch are answered once; cache hits skip
+    /// extraction, and hits whose answer was already computed by an earlier
+    /// batch skip the forward pass too. Fresh work fans out across the
+    /// batch. Answers match [`am_dgcnn::predict_probs`] on the same links
+    /// bit-for-bit.
+    pub fn predict(&self, queries: &[LinkQuery]) -> Vec<ClassProbs> {
+        // Dedup while preserving first-seen order.
+        let mut index_of: HashMap<LinkQuery, usize> = HashMap::new();
+        let mut unique: Vec<LinkQuery> = Vec::new();
+        for &q in queries {
+            index_of.entry(q).or_insert_with(|| {
+                unique.push(q);
+                unique.len() - 1
+            });
+        }
+
+        // Resolve cache hits under one short lock; extraction happens
+        // outside it.
+        let resolved: Vec<Option<Arc<CacheEntry>>> = {
+            let mut cache = self.cache.lock().expect("cache lock");
+            unique.iter().map(|q| cache.get(q)).collect()
+        };
+
+        // A query is a "hit" when it skipped extraction: resolved from the
+        // cache, or deduplicated against an earlier copy in this batch.
+        let fresh = resolved.iter().filter(|r| r.is_none()).count() as u64;
+        self.stats.record_cache_misses(fresh);
+        self.stats.record_cache_hits(queries.len() as u64 - fresh);
+
+        // Extract the missing subgraphs in parallel.
+        let entries: Vec<Arc<CacheEntry>> = resolved
+            .into_par_iter()
+            .zip(unique.par_iter())
+            .map(|(hit, q)| {
+                hit.unwrap_or_else(|| {
+                    // The label field is unused at inference; extraction
+                    // depends only on the endpoints.
+                    let link = LabeledLink {
+                        u: q.0,
+                        v: q.1,
+                        class: 0,
+                    };
+                    Arc::new(CacheEntry {
+                        sample: prepare_sample(&self.ds, &link, &self.fcfg),
+                        probs: OnceLock::new(),
+                    })
+                })
+            })
+            .collect();
+        {
+            let mut cache = self.cache.lock().expect("cache lock");
+            for (q, e) in unique.iter().zip(&entries) {
+                cache.insert(*q, Arc::clone(e));
+            }
+        }
+
+        // Forward pass only where no earlier batch has answered already.
+        let need: Vec<&Arc<CacheEntry>> =
+            entries.iter().filter(|e| e.probs.get().is_none()).collect();
+        let answers: Vec<ClassProbs> = need.par_iter().map(|e| self.forward(&e.sample)).collect();
+        for (e, probs) in need.into_iter().zip(answers) {
+            // A concurrent batch may have raced us to the same entry; both
+            // computed identical values, so losing the race is harmless.
+            let _ = e.probs.set(probs);
+        }
+
+        self.stats.record_queries(queries.len() as u64);
+        queries
+            .iter()
+            .map(|q| {
+                entries[index_of[q]]
+                    .probs
+                    .get()
+                    .expect("answer just computed")
+                    .clone()
+            })
+            .collect()
+    }
+
+    /// Answer one query (no batching, still cached).
+    pub fn predict_one(&self, q: LinkQuery) -> ClassProbs {
+        self.predict(std::slice::from_ref(&q))
+            .pop()
+            .expect("one answer per query")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut lru = LruCache::new(2);
+        let s = |n: usize| {
+            Arc::new(CacheEntry {
+                probs: OnceLock::new(),
+                sample: PreparedSample {
+                    features: amdgcnn_tensor::Matrix::zeros(1, 1),
+                    edge_index: amdgcnn_nn::EdgeIndex::from_undirected(1, &[]),
+                    gcn_adj: amdgcnn_nn::gcn::GcnAdjacency::from_edges(1, &[]),
+                    edge_attrs: None,
+                    label: n,
+                    num_nodes: 1,
+                    num_edges: 0,
+                    edges: Vec::new(),
+                    drnl: vec![0],
+                },
+            })
+        };
+        lru.insert((0, 1), s(0));
+        lru.insert((0, 2), s(1));
+        assert!(lru.get(&(0, 1)).is_some()); // freshen (0,1)
+        lru.insert((0, 3), s(2)); // evicts (0,2)
+        assert!(lru.get(&(0, 2)).is_none());
+        assert!(lru.get(&(0, 1)).is_some());
+        assert!(lru.get(&(0, 3)).is_some());
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_cache_never_stores() {
+        let mut lru = LruCache::new(0);
+        lru.insert(
+            (1, 2),
+            Arc::new(CacheEntry {
+                probs: OnceLock::new(),
+                sample: PreparedSample {
+                    features: amdgcnn_tensor::Matrix::zeros(1, 1),
+                    edge_index: amdgcnn_nn::EdgeIndex::from_undirected(1, &[]),
+                    gcn_adj: amdgcnn_nn::gcn::GcnAdjacency::from_edges(1, &[]),
+                    edge_attrs: None,
+                    label: 0,
+                    num_nodes: 1,
+                    num_edges: 0,
+                    edges: Vec::new(),
+                    drnl: vec![0],
+                },
+            }),
+        );
+        assert_eq!(lru.len(), 0);
+        assert!(lru.get(&(1, 2)).is_none());
+    }
+}

@@ -1,0 +1,57 @@
+//! Batched inference serving for AM-DGCNN link classification.
+//!
+//! Three layers, each usable on its own:
+//!
+//! 1. [`artifact`] — a versioned single-file model format bundling the
+//!    architecture ([`am_dgcnn::ModelConfig`] with its
+//!    [`am_dgcnn::GnnKind`]), the feature settings, the dataset identity,
+//!    and the binary parameter checkpoint. [`save_model`]/[`load_model`]
+//!    round-trip bit-exactly.
+//! 2. [`engine`] — an [`InferenceEngine`] holding the loaded model and the
+//!    dataset graph, answering `(u, v)` link queries with on-the-fly
+//!    enclosing-subgraph extraction (the training-time `prepare_sample`
+//!    path) behind an LRU cache of prepared subgraphs.
+//! 3. [`server`] — a [`BatchServer`] micro-batching front-end: queries
+//!    accumulate up to `max_batch`/`max_wait`, execute as one batch, and
+//!    throughput/latency counters are exported via [`ServerStats`].
+//!
+//! ```
+//! use amdgcnn_serve::{save_model, ArtifactMeta, BatchConfig, BatchServer, InferenceEngine};
+//! use am_dgcnn::{Experiment, FeatureConfig, GnnKind, Hyperparams};
+//! use amdgcnn_data::{wn18_like, Wn18Config};
+//!
+//! let ds = wn18_like(&Wn18Config {
+//!     num_nodes: 60, num_edges: 220, train_links: 24, test_links: 8,
+//!     ..Default::default()
+//! });
+//! let hyper = Hyperparams { lr: 5e-3, hidden_dim: 8, sort_k: 10 };
+//! let exp = Experiment::builder().gnn(GnnKind::am_dgcnn()).hyper(hyper).seed(1).build();
+//! let mut session = exp.session(&ds, None).expect("session");
+//! session.trainer
+//!     .train(&session.model, &mut session.ps, &session.train_samples, 1)
+//!     .expect("train");
+//!
+//! // Persist, reload, serve.
+//! let fcfg = FeatureConfig::for_graph(ds.graph.num_node_types());
+//! let meta = ArtifactMeta::describe(&ds, &session.model.cfg, &fcfg, 1).expect("meta");
+//! let mut artifact = Vec::new();
+//! save_model(&meta, &session.ps, &mut artifact).expect("save");
+//!
+//! let engine = InferenceEngine::load(artifact.as_slice(), ds.clone(), 64).expect("load");
+//! let server = BatchServer::start(engine, BatchConfig::default());
+//! let link = ds.test[0];
+//! let probs = server.submit((link.u, link.v)).wait();
+//! assert_eq!(probs.len(), ds.num_classes);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod engine;
+pub mod server;
+pub mod stats;
+
+pub use artifact::{instantiate, load_model, save_model, ArtifactMeta, FeatureMeta};
+pub use engine::{ClassProbs, InferenceEngine, LinkQuery};
+pub use server::{BatchConfig, BatchServer, PendingQuery};
+pub use stats::ServerStats;

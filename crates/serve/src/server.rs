@@ -1,0 +1,193 @@
+//! Micro-batching front-end: queries accumulate in a queue until either
+//! `max_batch` of them are waiting or the oldest has waited `max_wait`,
+//! then the whole batch runs through the engine at once.
+//!
+//! Batching amortizes the per-call fixed costs (cache lock, forward-pass
+//! setup) and lets subgraph preparation fan out across the batch, while
+//! `max_wait` bounds the latency a lone query can be held hostage for.
+
+use crate::engine::{ClassProbs, InferenceEngine, LinkQuery};
+use crate::stats::ServerStats;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Batching policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Execute as soon as this many queries are queued.
+    pub max_batch: usize,
+    /// Execute a partial batch once its oldest query has waited this long.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 32,
+            max_wait: Duration::from_millis(2),
+        }
+    }
+}
+
+struct Request {
+    query: LinkQuery,
+    reply: mpsc::Sender<ClassProbs>,
+}
+
+#[derive(Default)]
+struct Queue {
+    requests: VecDeque<Request>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    wakeup: Condvar,
+    engine: Arc<InferenceEngine>,
+    cfg: BatchConfig,
+}
+
+/// Handle on an answer that has been queued but possibly not yet computed.
+pub struct PendingQuery {
+    rx: mpsc::Receiver<ClassProbs>,
+}
+
+impl PendingQuery {
+    /// Block until the batch containing this query has executed.
+    ///
+    /// # Panics
+    /// Panics if the server was shut down before answering — possible only
+    /// when `shutdown` races a still-pending caller, which the API
+    /// discourages by consuming the server.
+    pub fn wait(self) -> ClassProbs {
+        self.rx.recv().expect("server dropped pending query")
+    }
+}
+
+/// A running batch server: one worker thread draining the queue through an
+/// [`InferenceEngine`].
+pub struct BatchServer {
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl BatchServer {
+    /// Start the worker thread over `engine`.
+    pub fn start(engine: InferenceEngine, cfg: BatchConfig) -> Self {
+        assert!(cfg.max_batch > 0, "max_batch must be positive");
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue::default()),
+            wakeup: Condvar::new(),
+            engine: Arc::new(engine),
+            cfg,
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::spawn(move || worker_loop(&worker_shared));
+        Self {
+            shared,
+            worker: Some(worker),
+        }
+    }
+
+    /// Enqueue a link query; the returned handle blocks on [`PendingQuery::wait`].
+    pub fn submit(&self, query: LinkQuery) -> PendingQuery {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut q = self.shared.queue.lock().expect("queue lock");
+            q.requests.push_back(Request { query, reply: tx });
+        }
+        self.shared.wakeup.notify_one();
+        PendingQuery { rx }
+    }
+
+    /// Convenience: submit every query, then wait for all answers (in
+    /// query order). Queries submitted together land in as few batches as
+    /// the policy allows.
+    pub fn submit_all(&self, queries: &[LinkQuery]) -> Vec<ClassProbs> {
+        let pending: Vec<PendingQuery> = queries.iter().map(|&q| self.submit(q)).collect();
+        pending.into_iter().map(PendingQuery::wait).collect()
+    }
+
+    /// Counter snapshot (shared with the underlying engine).
+    pub fn stats(&self) -> ServerStats {
+        self.shared.engine.stats()
+    }
+
+    /// The engine being served.
+    pub fn engine(&self) -> &InferenceEngine {
+        &self.shared.engine
+    }
+
+    /// Stop the worker after it drains the queue.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("queue lock");
+            q.shutdown = true;
+        }
+        self.shared.wakeup.notify_all();
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for BatchServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let batch = collect_batch(shared);
+        if batch.is_empty() {
+            return; // shutdown with a drained queue
+        }
+        let started = Instant::now();
+        let queries: Vec<LinkQuery> = batch.iter().map(|r| r.query).collect();
+        let answers = shared.engine.predict(&queries);
+        shared.engine.stats.record_batch(started.elapsed());
+        for (req, probs) in batch.into_iter().zip(answers) {
+            // A caller that dropped its PendingQuery just discards the
+            // answer; that is not a server error.
+            let _ = req.reply.send(probs);
+        }
+    }
+}
+
+/// Block until a batch is ready: `max_batch` queued, or `max_wait` elapsed
+/// since the first query of the forming batch arrived, or shutdown (which
+/// flushes whatever is queued). Returns empty only on shutdown with an
+/// empty queue.
+fn collect_batch(shared: &Shared) -> Vec<Request> {
+    let mut q = shared.queue.lock().expect("queue lock");
+    // Sleep until there is at least one request (or we are told to stop).
+    while q.requests.is_empty() {
+        if q.shutdown {
+            return Vec::new();
+        }
+        q = shared.wakeup.wait(q).expect("queue lock");
+    }
+    // A batch is forming: wait for it to fill, but never past the deadline.
+    let deadline = Instant::now() + shared.cfg.max_wait;
+    while q.requests.len() < shared.cfg.max_batch && !q.shutdown {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        let (guard, _timeout) = shared
+            .wakeup
+            .wait_timeout(q, deadline - now)
+            .expect("queue lock");
+        q = guard;
+    }
+    let take = q.requests.len().min(shared.cfg.max_batch);
+    q.requests.drain(..take).collect()
+}

@@ -1,0 +1,179 @@
+//! Serving counters: queries, cache effectiveness, batch latency quantiles.
+//!
+//! Counters are lock-free atomics so the hot path (a cache probe inside the
+//! engine) never contends with a stats reader; only the latency ring, which
+//! is touched once per *batch* rather than per query, sits behind a mutex.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Latency samples retained for quantile estimation. Old samples are
+/// overwritten ring-buffer style so a long-running server reports recent
+/// behavior, not its cold-start history.
+const LATENCY_RING: usize = 4096;
+
+/// Internal mutable collector owned by the engine/server.
+#[derive(Debug, Default)]
+pub(crate) struct StatsCollector {
+    queries: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    batches: AtomicU64,
+    latencies_us: Mutex<LatencyRing>,
+}
+
+#[derive(Debug, Default)]
+struct LatencyRing {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+impl StatsCollector {
+    pub(crate) fn record_queries(&self, n: u64) {
+        self.queries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_cache_hits(&self, n: u64) {
+        self.cache_hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_cache_misses(&self, n: u64) {
+        self.cache_misses.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_batch(&self, latency: Duration) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let mut ring = self.latencies_us.lock().expect("stats lock");
+        if ring.samples.len() < LATENCY_RING {
+            ring.samples.push(us);
+        } else {
+            let i = ring.next;
+            ring.samples[i] = us;
+        }
+        ring.next = (ring.next + 1) % LATENCY_RING;
+    }
+
+    /// Consistent-enough snapshot (counters are read individually; exact
+    /// cross-counter consistency is not needed for monitoring).
+    pub(crate) fn snapshot(&self) -> ServerStats {
+        let queries = self.queries.load(Ordering::Relaxed);
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let misses = self.cache_misses.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let mut lat: Vec<u64> = self
+            .latencies_us
+            .lock()
+            .expect("stats lock")
+            .samples
+            .clone();
+        lat.sort_unstable();
+        ServerStats {
+            queries_served: queries,
+            cache_hits: hits,
+            cache_misses: misses,
+            cache_hit_rate: if hits + misses == 0 {
+                0.0
+            } else {
+                hits as f64 / (hits + misses) as f64
+            },
+            batches,
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                queries as f64 / batches as f64
+            },
+            p50_batch_latency: Duration::from_micros(quantile(&lat, 0.50)),
+            p99_batch_latency: Duration::from_micros(quantile(&lat, 0.99)),
+        }
+    }
+}
+
+/// Nearest-rank quantile over an already-sorted sample vector.
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Point-in-time view of a server's throughput and latency counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerStats {
+    /// Total link queries answered.
+    pub queries_served: u64,
+    /// Prepared-subgraph cache hits.
+    pub cache_hits: u64,
+    /// Prepared-subgraph cache misses (fresh extractions).
+    pub cache_misses: u64,
+    /// `hits / (hits + misses)`, `0.0` before any lookup.
+    pub cache_hit_rate: f64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// `queries_served / batches`, `0.0` before any batch.
+    pub mean_batch_size: f64,
+    /// Median batch latency over the recent sample window.
+    pub p50_batch_latency: Duration,
+    /// 99th-percentile batch latency over the recent sample window.
+    pub p99_batch_latency: Duration,
+}
+
+impl std::fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} queries in {} batches (mean {:.1}/batch), cache hit rate {:.1}%, \
+             batch latency p50 {:?} p99 {:?}",
+            self.queries_served,
+            self.batches,
+            self.mean_batch_size,
+            self.cache_hit_rate * 100.0,
+            self.p50_batch_latency,
+            self.p99_batch_latency
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_snapshot_is_zeroed() {
+        let c = StatsCollector::default();
+        let s = c.snapshot();
+        assert_eq!(s.queries_served, 0);
+        assert_eq!(s.cache_hit_rate, 0.0);
+        assert_eq!(s.p99_batch_latency, Duration::ZERO);
+    }
+
+    #[test]
+    fn hit_rate_and_quantiles() {
+        let c = StatsCollector::default();
+        c.record_queries(4);
+        c.record_cache_hits(3);
+        c.record_cache_misses(1);
+        for us in [100u64, 200, 300, 400] {
+            c.record_batch(Duration::from_micros(us));
+        }
+        let s = c.snapshot();
+        assert_eq!(s.cache_hit_rate, 0.75);
+        assert_eq!(s.mean_batch_size, 1.0);
+        assert_eq!(s.p50_batch_latency, Duration::from_micros(200));
+        assert_eq!(s.p99_batch_latency, Duration::from_micros(400));
+    }
+
+    #[test]
+    fn latency_ring_wraps_instead_of_growing() {
+        let c = StatsCollector::default();
+        for i in 0..(LATENCY_RING as u64 + 10) {
+            c.record_batch(Duration::from_micros(i));
+        }
+        let s = c.snapshot();
+        assert_eq!(s.batches, LATENCY_RING as u64 + 10);
+        // The oldest samples (0..10) were overwritten.
+        assert!(s.p50_batch_latency >= Duration::from_micros(10));
+    }
+}

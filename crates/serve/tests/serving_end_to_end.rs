@@ -1,0 +1,149 @@
+//! End-to-end serving guarantees: a reloaded artifact is the trained model
+//! (bit-exact metrics and probabilities), the batch server answers exactly
+//! like direct engine calls, and the cache counters add up.
+
+use am_dgcnn::{evaluate_model, predict_probs, Experiment, FeatureConfig, GnnKind, Hyperparams};
+use amdgcnn_data::{wn18_like, Dataset, Wn18Config};
+use amdgcnn_serve::{
+    load_model, save_model, ArtifactMeta, BatchConfig, BatchServer, InferenceEngine,
+};
+use std::time::Duration;
+
+fn small_dataset() -> Dataset {
+    wn18_like(&Wn18Config {
+        num_nodes: 120,
+        num_edges: 420,
+        train_links: 60,
+        test_links: 20,
+        ..Default::default()
+    })
+}
+
+fn fast_hyper() -> Hyperparams {
+    Hyperparams {
+        lr: 5e-3,
+        hidden_dim: 8,
+        sort_k: 10,
+    }
+}
+
+/// Train briefly, save an artifact, and return everything a test needs.
+fn trained_artifact(ds: &Dataset) -> (ArtifactMeta, Vec<u8>, am_dgcnn::Session) {
+    let exp = Experiment::builder()
+        .gnn(GnnKind::am_dgcnn())
+        .hyper(fast_hyper())
+        .seed(9)
+        .build();
+    let mut session = exp.session(ds, None).expect("session");
+    session
+        .trainer
+        .train(&session.model, &mut session.ps, &session.train_samples, 2)
+        .expect("train");
+    let fcfg = FeatureConfig::for_graph(ds.graph.num_node_types());
+    let meta = ArtifactMeta::describe(ds, &session.model.cfg, &fcfg, 2).expect("meta");
+    let mut buf = Vec::new();
+    save_model(&meta, &session.ps, &mut buf).expect("save");
+    (meta, buf, session)
+}
+
+#[test]
+fn reloaded_model_reproduces_exact_eval_metrics() {
+    let ds = small_dataset();
+    let (_, artifact, session) = trained_artifact(&ds);
+    let live = session.evaluate();
+
+    let (meta, loaded_ps) = load_model(artifact.as_slice()).expect("load");
+    let (model, ps) = amdgcnn_serve::instantiate(&meta, &loaded_ps).expect("instantiate");
+    let reloaded = evaluate_model(&model, &ps, &session.test_samples);
+
+    // Bit-exact: same parameters, same samples, same deterministic forward.
+    assert_eq!(live, reloaded);
+
+    // And so are the raw probabilities.
+    let p_live = predict_probs(&session.model, &session.ps, &session.test_samples);
+    let p_reload = predict_probs(&model, &ps, &session.test_samples);
+    assert_eq!(p_live.data(), p_reload.data());
+}
+
+#[test]
+fn engine_answers_match_training_time_predictions() {
+    let ds = small_dataset();
+    let (_, artifact, session) = trained_artifact(&ds);
+    let engine = InferenceEngine::load(artifact.as_slice(), ds.clone(), 64).expect("engine");
+
+    let queries: Vec<(u32, u32)> = ds.test.iter().map(|l| (l.u, l.v)).collect();
+    let answers = engine.predict(&queries);
+
+    let reference = predict_probs(&session.model, &session.ps, &session.test_samples);
+    assert_eq!(answers.len(), ds.test.len());
+    for (i, probs) in answers.iter().enumerate() {
+        assert_eq!(probs.as_slice(), reference.row(i), "query {i}");
+    }
+}
+
+#[test]
+fn batched_and_unbatched_answers_are_identical() {
+    let ds = small_dataset();
+    let (_, artifact, _) = trained_artifact(&ds);
+    let queries: Vec<(u32, u32)> = ds.test.iter().map(|l| (l.u, l.v)).collect();
+
+    // One-at-a-time through an uncached engine.
+    let plain = InferenceEngine::load(artifact.as_slice(), ds.clone(), 0).expect("engine");
+    let unbatched: Vec<Vec<f32>> = queries.iter().map(|&q| plain.predict_one(q)).collect();
+
+    // Micro-batched through the server, cache enabled.
+    let engine = InferenceEngine::load(artifact.as_slice(), ds.clone(), 64).expect("engine");
+    let server = BatchServer::start(
+        engine,
+        BatchConfig {
+            max_batch: 8,
+            max_wait: Duration::from_millis(5),
+        },
+    );
+    let batched = server.submit_all(&queries);
+
+    assert_eq!(unbatched, batched);
+
+    let stats = server.stats();
+    assert_eq!(stats.queries_served, queries.len() as u64);
+    assert!(stats.batches >= 1);
+    assert!(stats.mean_batch_size >= 1.0);
+    server.shutdown();
+}
+
+#[test]
+fn cache_hits_are_counted_and_answers_stay_stable() {
+    let ds = small_dataset();
+    let (_, artifact, _) = trained_artifact(&ds);
+    let engine = InferenceEngine::load(artifact.as_slice(), ds.clone(), 64).expect("engine");
+
+    let hot = (ds.test[0].u, ds.test[0].v);
+    let first = engine.predict_one(hot);
+    for _ in 0..4 {
+        assert_eq!(engine.predict_one(hot), first);
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.queries_served, 5);
+    assert_eq!(stats.cache_misses, 1);
+    assert_eq!(stats.cache_hits, 4);
+    assert!((stats.cache_hit_rate - 0.8).abs() < 1e-12);
+    assert_eq!(engine.cache_len(), 1);
+}
+
+#[test]
+fn engine_refuses_mismatched_dataset() {
+    let ds = small_dataset();
+    let (_, artifact, _) = trained_artifact(&ds);
+
+    // A different generator family ⇒ different dataset name.
+    let other = amdgcnn_data::cora_like(&amdgcnn_data::CoraConfig {
+        num_nodes: 80,
+        num_edges: 200,
+        ..Default::default()
+    });
+    let err = match InferenceEngine::load(artifact.as_slice(), other, 16) {
+        Ok(_) => panic!("engine must refuse a mismatched dataset"),
+        Err(e) => e,
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+}

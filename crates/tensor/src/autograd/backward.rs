@@ -172,8 +172,7 @@ impl Tape {
                         let wrow = w.row(o);
                         let grow = g.row(o);
                         let mut bsum = 0.0f32;
-                        for t in 0..l_out {
-                            let gv = grow[t];
+                        for (t, &gv) in grow.iter().enumerate().take(l_out) {
                             if gv == 0.0 {
                                 continue;
                             }

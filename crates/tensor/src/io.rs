@@ -15,6 +15,18 @@ use std::io::{self, Read, Write};
 const MAGIC: &[u8; 4] = b"AMDG";
 const VERSION: u32 = 1;
 
+/// Hard ceilings on header-declared sizes. A checkpoint we write ourselves
+/// stays far below all of them; anything above is a corrupt or hostile file
+/// and is rejected before memory is committed to it.
+const MAX_PARAMS: usize = 1 << 20;
+const MAX_NAME_LEN: usize = 1 << 16;
+const MAX_ELEMS: usize = 1 << 28;
+
+/// Elements per chunked read while streaming tensor data in. Allocation
+/// grows only as bytes actually arrive, so a header that lies about
+/// `rows * cols` hits end-of-stream long before exhausting memory.
+const READ_CHUNK_ELEMS: usize = 16 * 1024;
+
 /// Serialize every parameter (ids are positional, names included for
 /// verification).
 pub fn save_params<W: Write>(ps: &ParamStore, mut w: W) -> io::Result<()> {
@@ -37,46 +49,56 @@ pub fn save_params<W: Write>(ps: &ParamStore, mut w: W) -> io::Result<()> {
 /// Deserialize into a fresh [`ParamStore`]. Ids are assigned in file order,
 /// which matches the registration order of an identically constructed
 /// model.
+///
+/// Every header field is treated as untrusted: counts and shapes are capped,
+/// data is read in bounded chunks, and a stream that ends before the header's
+/// promise is kept fails with [`io::ErrorKind::InvalidData`] — never a bare
+/// `UnexpectedEof` and never an allocation sized by the corrupt header.
 pub fn load_params<R: Read>(mut r: R) -> io::Result<ParamStore> {
     let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
+    read_exact_checked(&mut r, &mut magic, "magic")?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        return Err(invalid("bad magic"));
     }
-    let version = read_u32(&mut r)?;
+    let version = read_u32(&mut r, "version")?;
     if version != VERSION {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unsupported checkpoint version {version}"),
-        ));
+        return Err(invalid(format!("unsupported checkpoint version {version}")));
     }
-    let count = read_u32(&mut r)? as usize;
+    let count = read_u32(&mut r, "parameter count")? as usize;
+    if count > MAX_PARAMS {
+        return Err(invalid(format!("implausible parameter count {count}")));
+    }
     let mut ps = ParamStore::new();
-    for _ in 0..count {
-        let name_len = read_u32(&mut r)? as usize;
-        if name_len > 1 << 16 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "implausible name length",
-            ));
+    for idx in 0..count {
+        let name_len = read_u32(&mut r, "name length")? as usize;
+        if name_len > MAX_NAME_LEN {
+            return Err(invalid(format!(
+                "implausible name length {name_len} for parameter {idx}"
+            )));
         }
         let mut name = vec![0u8; name_len];
-        r.read_exact(&mut name)?;
-        let name = String::from_utf8(name)
-            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 name"))?;
-        let rows = read_u32(&mut r)? as usize;
-        let cols = read_u32(&mut r)? as usize;
-        if rows.saturating_mul(cols) > 1 << 28 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "implausible tensor size",
-            ));
+        read_exact_checked(&mut r, &mut name, "parameter name")?;
+        let name = String::from_utf8(name).map_err(|_| invalid("non-utf8 name"))?;
+        let rows = read_u32(&mut r, "rows")? as usize;
+        let cols = read_u32(&mut r, "cols")? as usize;
+        let total = rows.saturating_mul(cols);
+        if total > MAX_ELEMS {
+            return Err(invalid(format!(
+                "implausible tensor size {rows}x{cols} for {name}"
+            )));
         }
-        let mut data = vec![0f32; rows * cols];
-        let mut buf = [0u8; 4];
-        for v in &mut data {
-            r.read_exact(&mut buf)?;
-            *v = f32::from_le_bytes(buf);
+        let mut data: Vec<f32> = Vec::new();
+        let mut byte_buf = vec![0u8; READ_CHUNK_ELEMS * 4];
+        let mut remaining = total;
+        while remaining > 0 {
+            let n = remaining.min(READ_CHUNK_ELEMS);
+            read_exact_checked(&mut r, &mut byte_buf[..n * 4], "tensor data")?;
+            data.extend(
+                byte_buf[..n * 4]
+                    .chunks_exact(4)
+                    .map(|b| f32::from_le_bytes(b.try_into().expect("4-byte chunk"))),
+            );
+            remaining -= n;
         }
         ps.register(name, Matrix::from_vec(rows, cols, data));
     }
@@ -120,9 +142,25 @@ pub fn restore_into(target: &mut ParamStore, loaded: &ParamStore) -> io::Result<
     Ok(())
 }
 
-fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// `read_exact` that reports a short stream as corrupt data (the header
+/// promised more bytes than exist) instead of a bare `UnexpectedEof`.
+fn read_exact_checked<R: Read>(r: &mut R, buf: &mut [u8], what: &str) -> io::Result<()> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            invalid(format!("checkpoint truncated while reading {what}"))
+        } else {
+            e
+        }
+    })
+}
+
+fn read_u32<R: Read>(r: &mut R, what: &str) -> io::Result<u32> {
     let mut buf = [0u8; 4];
-    r.read_exact(&mut buf)?;
+    read_exact_checked(r, &mut buf, what)?;
     Ok(u32::from_le_bytes(buf))
 }
 
@@ -181,12 +219,62 @@ mod tests {
     }
 
     #[test]
-    fn truncated_stream_rejected() {
+    fn truncated_stream_rejected_as_invalid_data() {
         let ps = sample_store();
         let mut buf = Vec::new();
         save_params(&ps, &mut buf).expect("save");
-        buf.truncate(buf.len() - 3);
-        assert!(load_params(buf.as_slice()).is_err());
+        // Truncate at every prefix length: the loader must always report
+        // corrupt data, never leak a bare UnexpectedEof.
+        for cut in 0..buf.len() {
+            let err = load_params(&buf[..cut]).expect_err("truncated must fail");
+            assert_eq!(
+                err.kind(),
+                io::ErrorKind::InvalidData,
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn lying_count_header_rejected_without_huge_alloc() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd param count
+        let err = load_params(buf.as_slice()).expect_err("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("parameter count"), "{err}");
+    }
+
+    #[test]
+    fn lying_shape_header_rejected() {
+        // One parameter whose header claims a 65536x65536 tensor but whose
+        // data section is empty: both the size cap and the chunked read
+        // must keep this from allocating gigabytes.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(b'w');
+        buf.extend_from_slice(&65536u32.to_le_bytes());
+        buf.extend_from_slice(&65536u32.to_le_bytes());
+        let err = load_params(buf.as_slice()).expect_err("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // A merely-large claim below the cap still fails fast on truncation
+        // instead of allocating the full claimed size up front.
+        let mut buf2 = Vec::new();
+        buf2.extend_from_slice(MAGIC);
+        buf2.extend_from_slice(&VERSION.to_le_bytes());
+        buf2.extend_from_slice(&1u32.to_le_bytes());
+        buf2.extend_from_slice(&1u32.to_le_bytes());
+        buf2.push(b'w');
+        buf2.extend_from_slice(&4096u32.to_le_bytes());
+        buf2.extend_from_slice(&4096u32.to_le_bytes());
+        let err = load_params(buf2.as_slice()).expect_err("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("truncated"), "{err}");
     }
 
     #[test]

@@ -116,7 +116,7 @@ pub fn logdet_spd(a: &Matrix) -> Result<f32, LinalgError> {
 mod tests {
     use super::*;
     use crate::matmul::{matmul, matmul_nt};
-    use rand::{rngs::StdRng, Rng, RngExt, SeedableRng};
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
 
     /// Random SPD matrix A = M·Mᵀ + n·I.
     fn random_spd(n: usize, seed: u64) -> Matrix {

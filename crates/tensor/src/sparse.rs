@@ -164,11 +164,16 @@ impl CsrMatrix {
         }
         let a = CsrMatrix::from_triplets(n, n, &triplets);
         // Degree = row sum of A + I.
-        let mut inv_sqrt_deg = vec![0.0f32; n];
-        for r in 0..n {
-            let d: f32 = a.row_entries(r).map(|(_, v)| v).sum();
-            inv_sqrt_deg[r] = if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 };
-        }
+        let inv_sqrt_deg: Vec<f32> = (0..n)
+            .map(|r| {
+                let d: f32 = a.row_entries(r).map(|(_, v)| v).sum();
+                if d > 0.0 {
+                    1.0 / d.sqrt()
+                } else {
+                    0.0
+                }
+            })
+            .collect();
         let mut norm = a;
         for r in 0..n {
             let lo = norm.indptr[r];

@@ -90,7 +90,7 @@ pub fn successive_halving(
             .collect();
         history.extend(scored.iter().cloned());
         scored.sort_by(|a, b| b.value.partial_cmp(&a.value).expect("finite objective"));
-        let keep = (scored.len() + 1) / 2;
+        let keep = scored.len().div_ceil(2);
         arms = scored.into_iter().take(keep).map(|t| t.point).collect();
         fidelity *= 2;
     }
@@ -157,7 +157,7 @@ pub fn bayes_opt(
                         let cand = space.sample(&mut rng);
                         let unit = space.to_unit(&cand);
                         let ei = expected_improvement(gp.predict(&unit), best, cfg.xi);
-                        if best_candidate.as_ref().map_or(true, |(b, _)| ei > *b) {
+                        if best_candidate.as_ref().is_none_or(|(b, _)| ei > *b) {
                             best_candidate = Some((ei, cand));
                         }
                     }

@@ -28,15 +28,20 @@ fn main() {
         hidden_dim: 32,
         sort_k: 40,
     };
-    let experiment = Experiment::new(am_dgcnn::GnnKind::am_dgcnn(), hyper, 2024);
-    let mut session = experiment.session(&dataset, None);
+    let experiment = Experiment::builder()
+        .gnn(am_dgcnn::GnnKind::am_dgcnn())
+        .hyper(hyper)
+        .seed(2024)
+        .build();
+    let mut session = experiment.session(&dataset, None).expect("session");
     println!(
         "training AM-DGCNN on {} known drug–disease links...",
         session.train_samples.len()
     );
     session
         .trainer
-        .train(&session.model, &mut session.ps, &session.train_samples, 10);
+        .train(&session.model, &mut session.ps, &session.train_samples, 10)
+        .expect("train");
     let metrics = session.evaluate();
     println!(
         "held-out validation: AUC {:.3}, AP {:.3}, accuracy {:.3}\n",

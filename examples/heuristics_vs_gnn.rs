@@ -58,7 +58,8 @@ fn main() {
         },
         GnnKind::Gcn,
     ] {
-        let metrics = Experiment::new(gnn, hyper, 11).run(&dataset, 8);
+        let experiment = Experiment::builder().gnn(gnn).hyper(hyper).seed(11).build();
+        let metrics = experiment.run(&dataset, 8).expect("run");
         println!("{:<26} {:>8.3}", gnn.name(), metrics.auc);
     }
     println!(

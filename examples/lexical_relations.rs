@@ -28,15 +28,20 @@ fn main() {
         hidden_dim: 64,
         sort_k: 30,
     };
-    let experiment = Experiment::new(GnnKind::am_dgcnn(), hyper, 7);
-    let mut session = experiment.session(&dataset, None);
+    let experiment = Experiment::builder()
+        .gnn(GnnKind::am_dgcnn())
+        .hyper(hyper)
+        .seed(7)
+        .build();
+    let mut session = experiment.session(&dataset, None).expect("session");
     println!(
         "training AM-DGCNN on {} labeled links...",
         session.train_samples.len()
     );
     session
         .trainer
-        .train(&session.model, &mut session.ps, &session.train_samples, 10);
+        .train(&session.model, &mut session.ps, &session.train_samples, 10)
+        .expect("train");
     let metrics = session.evaluate();
     println!(
         "test AUC {:.3}, AP {:.3}, accuracy {:.3}\n",

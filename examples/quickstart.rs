@@ -40,8 +40,8 @@ fn main() {
 
     // 3. Train both models and compare — the paper's core experiment.
     for gnn in [GnnKind::am_dgcnn(), GnnKind::Gcn] {
-        let experiment = Experiment::new(gnn, hyper, 42);
-        let metrics = experiment.run(&dataset, 10);
+        let experiment = Experiment::builder().gnn(gnn).hyper(hyper).seed(42).build();
+        let metrics = experiment.run(&dataset, 10).expect("run");
         println!(
             "{:<14} AUC {:.3}  AP {:.3}  accuracy {:.3}",
             gnn.name(),

@@ -27,10 +27,11 @@ fn train_losses_and_probs(threads: usize) -> (Vec<f32>, Vec<f32>) {
             seed: 17,
             ..Default::default()
         };
-        let mut session = exp.session(&ds, None);
+        let mut session = exp.session(&ds, None).expect("session");
         session
             .trainer
-            .train(&session.model, &mut session.ps, &session.train_samples, 3);
+            .train(&session.model, &mut session.ps, &session.train_samples, 3)
+            .expect("train");
         let losses = session.trainer.history.iter().map(|e| e.loss).collect();
         let probs = predict_probs(&session.model, &session.ps, &session.test_samples);
         (losses, probs.data().to_vec())

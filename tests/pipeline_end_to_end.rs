@@ -2,7 +2,7 @@
 //! feature construction → training → evaluation, across all four dataset
 //! families at miniature scale.
 
-use am_dgcnn::{Experiment, GnnKind, Hyperparams, TrainConfig};
+use am_dgcnn::{Experiment, GnnKind, Hyperparams};
 use amdgcnn_data::{
     biokg_like, cora_like, primekg_like, wn18_like, BioKgConfig, CoraConfig, Dataset,
     PrimeKgConfig, Wn18Config,
@@ -25,8 +25,12 @@ fn run_both(ds: &Dataset, epochs: usize) -> (f64, f64) {
             heads: 1,
         }
     };
-    let a = Experiment::new(am, fast_hyper(), 1).run(ds, epochs);
-    let v = Experiment::new(GnnKind::Gcn, fast_hyper(), 1).run(ds, epochs);
+    let a = Experiment::new(am, fast_hyper(), 1)
+        .run(ds, epochs)
+        .expect("run");
+    let v = Experiment::new(GnnKind::Gcn, fast_hyper(), 1)
+        .run(ds, epochs)
+        .expect("run");
     (a.auc, v.auc)
 }
 
@@ -65,7 +69,11 @@ fn cora_pipeline_runs_without_edge_attrs() {
 #[test]
 fn whole_pipeline_is_deterministic() {
     let ds = wn18_like(&Wn18Config::tiny());
-    let run = || Experiment::new(GnnKind::am_dgcnn(), fast_hyper(), 9).run(&ds, 2);
+    let run = || {
+        Experiment::new(GnnKind::am_dgcnn(), fast_hyper(), 9)
+            .run(&ds, 2)
+            .expect("run")
+    };
     let a = run();
     let b = run();
     assert_eq!(a, b, "same seed must give identical end-to-end metrics");
@@ -74,22 +82,25 @@ fn whole_pipeline_is_deterministic() {
 #[test]
 fn different_seeds_give_different_models() {
     let ds = wn18_like(&Wn18Config::tiny());
-    let a = Experiment::new(GnnKind::am_dgcnn(), fast_hyper(), 1).run(&ds, 2);
-    let b = Experiment::new(GnnKind::am_dgcnn(), fast_hyper(), 2).run(&ds, 2);
+    let a = Experiment::new(GnnKind::am_dgcnn(), fast_hyper(), 1)
+        .run(&ds, 2)
+        .expect("run");
+    let b = Experiment::new(GnnKind::am_dgcnn(), fast_hyper(), 2)
+        .run(&ds, 2)
+        .expect("run");
     assert_ne!(a, b, "different init seeds should not coincide exactly");
 }
 
 #[test]
 fn batch_size_one_trains() {
     let ds = wn18_like(&Wn18Config::tiny());
-    let mut exp = Experiment::new(GnnKind::Gcn, fast_hyper(), 3);
-    exp.train = TrainConfig {
-        batch_size: 1,
-        lr: 5e-3,
-        seed: 3,
-        ..Default::default()
-    };
-    let m = exp.run(&ds, 1);
+    let exp = Experiment::builder()
+        .gnn(GnnKind::Gcn)
+        .hyper(fast_hyper())
+        .seed(3)
+        .batch_size(1)
+        .build();
+    let m = exp.run(&ds, 1).expect("run");
     assert!((0.0..=1.0).contains(&m.auc));
 }
 
@@ -97,7 +108,9 @@ fn batch_size_one_trains() {
 fn epoch_checkpointing_is_consistent_with_direct_training() {
     let ds = primekg_like(&PrimeKgConfig::tiny());
     let exp = Experiment::new(GnnKind::am_dgcnn(), fast_hyper(), 5);
-    let stepped = exp.run_session(exp.session(&ds, None), &[1, 2, 3]);
-    let direct = exp.run(&ds, 3);
+    let stepped = exp
+        .run_session(exp.session(&ds, None).expect("session"), &[1, 2, 3])
+        .expect("checkpoints");
+    let direct = exp.run(&ds, 3).expect("run");
     assert_eq!(stepped[2], direct, "incremental training must be exact");
 }
