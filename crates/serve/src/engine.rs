@@ -211,11 +211,15 @@ impl InferenceEngine {
             unique.iter().map(|q| cache.get(q)).collect()
         };
 
-        // A query is a "hit" when it skipped extraction: resolved from the
-        // cache, or deduplicated against an earlier copy in this batch.
-        let fresh = resolved.iter().filter(|r| r.is_none()).count() as u64;
+        // LRU hits and intra-batch dedup both skip extraction but are
+        // counted separately: cache_hit_rate measures the LRU alone, while
+        // dedup_hits credits duplicates that never probed the cache.
+        let lru_hits = resolved.iter().filter(|r| r.is_some()).count() as u64;
+        let fresh = unique.len() as u64 - lru_hits;
         self.stats.record_cache_misses(fresh);
-        self.stats.record_cache_hits(queries.len() as u64 - fresh);
+        self.stats.record_cache_hits(lru_hits);
+        self.stats
+            .record_dedup_hits((queries.len() - unique.len()) as u64);
 
         // Extract the missing subgraphs in parallel.
         let entries: Vec<Arc<CacheEntry>> = resolved

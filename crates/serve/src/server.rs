@@ -35,6 +35,10 @@ impl Default for BatchConfig {
 struct Request {
     query: LinkQuery,
     reply: mpsc::Sender<ClassProbs>,
+    /// When the request entered the queue; the batch deadline is computed
+    /// from the oldest of these, so time spent waiting behind a busy worker
+    /// counts against `max_wait`.
+    enqueued: Instant,
 }
 
 #[derive(Default)]
@@ -97,7 +101,11 @@ impl BatchServer {
         let (tx, rx) = mpsc::channel();
         {
             let mut q = self.shared.queue.lock().expect("queue lock");
-            q.requests.push_back(Request { query, reply: tx });
+            q.requests.push_back(Request {
+                query,
+                reply: tx,
+                enqueued: Instant::now(),
+            });
         }
         self.shared.wakeup.notify_one();
         PendingQuery { rx }
@@ -163,9 +171,10 @@ fn worker_loop(shared: &Shared) {
 }
 
 /// Block until a batch is ready: `max_batch` queued, or `max_wait` elapsed
-/// since the first query of the forming batch arrived, or shutdown (which
-/// flushes whatever is queued). Returns empty only on shutdown with an
-/// empty queue.
+/// since the oldest queued request was *enqueued* (not since the worker
+/// noticed it — a query that waited behind a busy worker gets that time
+/// credited), or shutdown (which flushes whatever is queued). Returns empty
+/// only on shutdown with an empty queue.
 fn collect_batch(shared: &Shared) -> Vec<Request> {
     let mut q = shared.queue.lock().expect("queue lock");
     // Sleep until there is at least one request (or we are told to stop).
@@ -175,8 +184,10 @@ fn collect_batch(shared: &Shared) -> Vec<Request> {
         }
         q = shared.wakeup.wait(q).expect("queue lock");
     }
-    // A batch is forming: wait for it to fill, but never past the deadline.
-    let deadline = Instant::now() + shared.cfg.max_wait;
+    // A batch is forming: wait for it to fill, but never past the oldest
+    // request's deadline. The queue is FIFO and this worker is the only
+    // consumer, so the front entry stays the oldest until we drain it.
+    let deadline = q.requests.front().expect("non-empty queue").enqueued + shared.cfg.max_wait;
     while q.requests.len() < shared.cfg.max_batch && !q.shutdown {
         let now = Instant::now();
         if now >= deadline {

@@ -19,6 +19,7 @@ pub(crate) struct StatsCollector {
     queries: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    dedup_hits: AtomicU64,
     batches: AtomicU64,
     latencies_us: Mutex<LatencyRing>,
 }
@@ -42,6 +43,10 @@ impl StatsCollector {
         self.cache_misses.fetch_add(n, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_dedup_hits(&self, n: u64) {
+        self.dedup_hits.fetch_add(n, Ordering::Relaxed);
+    }
+
     pub(crate) fn record_batch(&self, latency: Duration) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
@@ -61,6 +66,7 @@ impl StatsCollector {
         let queries = self.queries.load(Ordering::Relaxed);
         let hits = self.cache_hits.load(Ordering::Relaxed);
         let misses = self.cache_misses.load(Ordering::Relaxed);
+        let dedup = self.dedup_hits.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
         let mut lat: Vec<u64> = self
             .latencies_us
@@ -73,6 +79,7 @@ impl StatsCollector {
             queries_served: queries,
             cache_hits: hits,
             cache_misses: misses,
+            dedup_hits: dedup,
             cache_hit_rate: if hits + misses == 0 {
                 0.0
             } else {
@@ -104,11 +111,20 @@ fn quantile(sorted: &[u64], q: f64) -> u64 {
 pub struct ServerStats {
     /// Total link queries answered.
     pub queries_served: u64,
-    /// Prepared-subgraph cache hits.
+    /// LRU lookups that found a prepared subgraph cached by an earlier
+    /// batch. Does *not* include intra-batch duplicates — those are
+    /// [`dedup_hits`](Self::dedup_hits).
     pub cache_hits: u64,
-    /// Prepared-subgraph cache misses (fresh extractions).
+    /// LRU lookups that missed and paid a fresh extraction. Concurrent
+    /// `predict` calls racing on the same cold key may each record a miss
+    /// (each really does extract), so under contention misses can slightly
+    /// overstate distinct cold keys.
     pub cache_misses: u64,
-    /// `hits / (hits + misses)`, `0.0` before any lookup.
+    /// Queries answered by deduplication against an earlier copy of the
+    /// same pair *within their own batch*; they never probed the LRU.
+    pub dedup_hits: u64,
+    /// LRU effectiveness only: `cache_hits / (cache_hits + cache_misses)`,
+    /// `0.0` before any lookup. Batch dedup is excluded from both sides.
     pub cache_hit_rate: f64,
     /// Micro-batches executed.
     pub batches: u64,
@@ -124,12 +140,13 @@ impl std::fmt::Display for ServerStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} queries in {} batches (mean {:.1}/batch), cache hit rate {:.1}%, \
-             batch latency p50 {:?} p99 {:?}",
+            "{} queries in {} batches (mean {:.1}/batch), cache hit rate {:.1}% \
+             (+{} batch-dedup), batch latency p50 {:?} p99 {:?}",
             self.queries_served,
             self.batches,
             self.mean_batch_size,
             self.cache_hit_rate * 100.0,
+            self.dedup_hits,
             self.p50_batch_latency,
             self.p99_batch_latency
         )
@@ -155,11 +172,14 @@ mod tests {
         c.record_queries(4);
         c.record_cache_hits(3);
         c.record_cache_misses(1);
+        c.record_dedup_hits(2);
         for us in [100u64, 200, 300, 400] {
             c.record_batch(Duration::from_micros(us));
         }
         let s = c.snapshot();
+        // Dedup hits are tracked separately and do not dilute the LRU rate.
         assert_eq!(s.cache_hit_rate, 0.75);
+        assert_eq!(s.dedup_hits, 2);
         assert_eq!(s.mean_batch_size, 1.0);
         assert_eq!(s.p50_batch_latency, Duration::from_micros(200));
         assert_eq!(s.p99_batch_latency, Duration::from_micros(400));

@@ -126,8 +126,20 @@ fn cache_hits_are_counted_and_answers_stay_stable() {
     assert_eq!(stats.queries_served, 5);
     assert_eq!(stats.cache_misses, 1);
     assert_eq!(stats.cache_hits, 4);
+    assert_eq!(stats.dedup_hits, 0);
     assert!((stats.cache_hit_rate - 0.8).abs() < 1e-12);
     assert_eq!(engine.cache_len(), 1);
+
+    // Duplicates inside one batch are answered once, counted as dedup hits
+    // rather than LRU hits: only the unique copy probes the cache.
+    let batch = engine.predict(&[hot, hot, hot]);
+    assert_eq!(batch, vec![first.clone(), first.clone(), first]);
+    let stats = engine.stats();
+    assert_eq!(stats.queries_served, 8);
+    assert_eq!(stats.cache_misses, 1);
+    assert_eq!(stats.cache_hits, 5);
+    assert_eq!(stats.dedup_hits, 2);
+    assert!((stats.cache_hit_rate - 5.0 / 6.0).abs() < 1e-12);
 }
 
 #[test]
