@@ -105,7 +105,7 @@ fn main() {
         },
     );
     let started = Instant::now();
-    let batched = server.submit_all(&workload);
+    let batched = server.submit_all(&workload).expect("batched answers");
     let batched_elapsed = started.elapsed();
     let batched_qps = NUM_QUERIES as f64 / batched_elapsed.as_secs_f64();
     println!(

@@ -33,6 +33,20 @@ pub enum Error {
         /// Links actually available in the training split.
         available: usize,
     },
+    /// Training diverged (non-finite loss or gradients) and the watchdog's
+    /// rollback/LR-halving retries were exhausted without recovering.
+    Diverged {
+        /// The epoch (1-based) that kept diverging.
+        epoch: usize,
+        /// Retries spent before giving up.
+        retries: usize,
+    },
+    /// The watchdog's rollback checkpoint held non-finite parameters, so
+    /// recovery could not proceed from it.
+    CheckpointCorrupt {
+        /// The epoch (1-based) whose checkpoint failed validation.
+        epoch: usize,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -54,6 +68,16 @@ impl std::fmt::Display for Error {
                 f,
                 "training subset of {requested} links requested but only \
                  {available} are available"
+            ),
+            Error::Diverged { epoch, retries } => write!(
+                f,
+                "training diverged at epoch {epoch}: loss/gradients stayed \
+                 non-finite after {retries} rollback retries"
+            ),
+            Error::CheckpointCorrupt { epoch } => write!(
+                f,
+                "rollback checkpoint for epoch {epoch} holds non-finite \
+                 parameters; cannot recover from it"
             ),
         }
     }

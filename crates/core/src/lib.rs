@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod fault;
 pub mod features;
 pub mod metrics;
 pub mod model;
@@ -28,6 +29,7 @@ pub mod train;
 pub mod wlnm;
 
 pub use error::Error;
+pub use fault::{EngineFault, FaultInjector, FaultPlan, TransientFault};
 pub use features::FeatureConfig;
 pub use model::{DgcnnModel, GnnKind, ModelConfig};
 pub use pipeline::{
@@ -35,5 +37,7 @@ pub use pipeline::{
 };
 pub use sample::{prepare_batch, prepare_sample, PreparedSample};
 pub use schedule::{EarlyStopping, LrSchedule};
-pub use train::{predict_probs, LinkModel, TrainConfig, Trainer};
+pub use train::{
+    predict_probs, DivergenceCause, LinkModel, RecoveryEvent, TrainConfig, Trainer, WatchdogConfig,
+};
 pub use wlnm::{WlnmConfig, WlnmModel};

@@ -139,6 +139,13 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Divergence-watchdog policy (rollback retries, LR backoff); on by
+    /// default with [`crate::train::WatchdogConfig::default`].
+    pub fn watchdog(mut self, watchdog: crate::train::WatchdogConfig) -> Self {
+        self.train.watchdog = watchdog;
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> Experiment {
         Experiment {

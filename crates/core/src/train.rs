@@ -7,10 +7,11 @@
 //! reproducible for a fixed seed regardless of thread scheduling.
 
 use crate::error::{Error, Result};
+use crate::fault::FaultInjector;
 use crate::sample::PreparedSample;
 use crate::schedule::LrSchedule;
 use amdgcnn_nn::{Adam, Optimizer};
-use amdgcnn_tensor::{GradStore, Matrix, ParamStore, Tape, Var};
+use amdgcnn_tensor::{GradStore, Matrix, ParamId, ParamStore, Tape, Var};
 use rand::{rngs::StdRng, SeedableRng};
 use rayon::prelude::*;
 use std::sync::Arc;
@@ -34,6 +35,40 @@ pub trait LinkModel: Sync {
     fn num_classes(&self) -> usize;
 }
 
+/// Divergence-watchdog settings: what the trainer does when an epoch
+/// produces a non-finite loss or non-finite gradients.
+///
+/// On divergence the watchdog rolls the parameters and optimizer state back
+/// to the checkpoint taken at the start of the epoch and retries. The
+/// *first* retry replays the epoch unchanged — transient glitches (an
+/// injected fault, a flipped bit, a racy read) need no mitigation, and an
+/// unchanged replay keeps a recovered run bit-identical to an uninterrupted
+/// one. From the second retry on, the learning rate is multiplied by
+/// `lr_backoff` per additional attempt, damping genuine numerical
+/// divergence. The budget is bounded: exhausting `max_retries` returns
+/// [`Error::Diverged`].
+#[derive(Debug, Clone, Copy)]
+pub struct WatchdogConfig {
+    /// Detect divergence and recover (`false` restores the legacy
+    /// train-through-NaN behavior, skipping the per-batch finiteness
+    /// checks).
+    pub enabled: bool,
+    /// Rollback retries allowed per epoch before giving up.
+    pub max_retries: usize,
+    /// Learning-rate factor applied per retry after the first.
+    pub lr_backoff: f32,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            max_retries: 3,
+            lr_backoff: 0.5,
+        }
+    }
+}
+
 /// Training parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct TrainConfig {
@@ -47,6 +82,8 @@ pub struct TrainConfig {
     pub grad_clip: Option<f32>,
     /// Seed for shuffling and dropout.
     pub seed: u64,
+    /// Divergence detection and rollback recovery.
+    pub watchdog: WatchdogConfig,
 }
 
 impl Default for TrainConfig {
@@ -57,6 +94,7 @@ impl Default for TrainConfig {
             batch_size: 16,
             grad_clip: Some(5.0),
             seed: 0,
+            watchdog: WatchdogConfig::default(),
         }
     }
 }
@@ -68,6 +106,32 @@ pub struct EpochStats {
     pub epoch: usize,
     /// Mean training loss.
     pub loss: f32,
+    /// Watchdog retries this epoch needed before completing (0 for a clean
+    /// epoch).
+    pub retries: usize,
+}
+
+/// What tripped the divergence watchdog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivergenceCause {
+    /// A per-sample or epoch-mean loss was NaN/∞.
+    NonFiniteLoss,
+    /// A merged batch gradient contained NaN/∞.
+    NonFiniteGradient,
+}
+
+/// One watchdog recovery: the epoch was rolled back to its checkpoint and
+/// retried.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryEvent {
+    /// Epoch (1-based) that diverged.
+    pub epoch: usize,
+    /// Retry number this event triggered (1-based).
+    pub attempt: usize,
+    /// What was detected.
+    pub cause: DivergenceCause,
+    /// Learning rate the retry will run at.
+    pub lr_next: f32,
 }
 
 /// Incremental trainer: owns the optimizer state so callers can train a few
@@ -77,8 +141,11 @@ pub struct Trainer {
     optimizer: Adam,
     epoch: usize,
     schedule: LrSchedule,
+    injector: Option<Arc<FaultInjector>>,
     /// Loss history across all epochs trained so far.
     pub history: Vec<EpochStats>,
+    /// Watchdog recoveries across all epochs trained so far.
+    pub recoveries: Vec<RecoveryEvent>,
 }
 
 impl Trainer {
@@ -89,7 +156,9 @@ impl Trainer {
             optimizer: Adam::new(cfg.lr),
             epoch: 0,
             schedule: LrSchedule::Constant,
+            injector: None,
             history: Vec::new(),
+            recoveries: Vec::new(),
         }
     }
 
@@ -97,6 +166,19 @@ impl Trainer {
     pub fn with_schedule(mut self, schedule: LrSchedule) -> Self {
         self.schedule = schedule;
         self
+    }
+
+    /// Attach a deterministic fault injector (testing hook: forces NaN
+    /// losses and checkpoint corruption on the epochs its plan schedules).
+    pub fn with_fault_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.attach_fault_injector(injector);
+        self
+    }
+
+    /// In-place variant of [`with_fault_injector`](Self::with_fault_injector)
+    /// for trainers already embedded in a [`crate::pipeline::Session`].
+    pub fn attach_fault_injector(&mut self, injector: Arc<FaultInjector>) {
+        self.injector = Some(injector);
     }
 
     /// Number of epochs completed.
@@ -116,10 +198,25 @@ impl Trainer {
 
     /// Train for `epochs` additional epochs.
     ///
+    /// Each epoch is guarded by the divergence watchdog (when
+    /// [`WatchdogConfig::enabled`]): a checkpoint of the parameters and
+    /// optimizer state is taken at epoch start, non-finite losses or
+    /// gradients abort the epoch, roll back to the checkpoint, and retry —
+    /// first unchanged (so a recovered run reproduces an uninterrupted one
+    /// bit-for-bit after a transient fault), then with the learning rate
+    /// damped by [`WatchdogConfig::lr_backoff`] per further attempt.
+    /// Recoveries are recorded in [`Trainer::recoveries`] and in the
+    /// epoch's [`EpochStats::retries`].
+    ///
     /// # Errors
-    /// [`Error::EmptySplit`] when `samples` is empty — there is nothing to
-    /// fit, and silently "training" zero samples would desynchronize the
-    /// epoch counter from the optimizer state.
+    /// - [`Error::EmptySplit`] when `samples` is empty — there is nothing
+    ///   to fit, and silently "training" zero samples would desynchronize
+    ///   the epoch counter from the optimizer state.
+    /// - [`Error::Diverged`] when an epoch stays non-finite after the
+    ///   watchdog's retry budget; the parameters are left rolled back to
+    ///   the epoch's checkpoint.
+    /// - [`Error::CheckpointCorrupt`] when the rollback checkpoint itself
+    ///   fails finiteness validation.
     pub fn train(
         &mut self,
         model: &impl LinkModel,
@@ -132,52 +229,149 @@ impl Trainer {
         }
         for _ in 0..epochs {
             self.epoch += 1;
-            self.optimizer
-                .set_learning_rate(self.schedule.lr_at(self.cfg.lr, self.epoch));
-            let mut order: Vec<usize> = (0..samples.len()).collect();
-            let mut shuffle_rng =
-                StdRng::seed_from_u64(self.cfg.seed ^ (self.epoch as u64).wrapping_mul(0x9E37));
-            amdgcnn_data::types::shuffle(&mut order, &mut shuffle_rng);
-
-            let mut epoch_loss = 0.0f64;
-            for chunk in order.chunks(self.cfg.batch_size) {
-                // Parallel per-sample gradients; ordered reduction below.
-                let results: Vec<(f32, GradStore)> = chunk
-                    .par_iter()
-                    .map(|&idx| {
-                        let sample = &samples[idx];
-                        let mut dropout_rng = StdRng::seed_from_u64(
-                            self.cfg.seed
-                                ^ (self.epoch as u64) << 32
-                                ^ (idx as u64).wrapping_mul(0x517c_c1b7_2722_0a95),
-                        );
-                        let mut tape = Tape::new();
-                        let logits =
-                            model.forward_sample(&mut tape, ps, sample, Some(&mut dropout_rng));
-                        let loss = tape.softmax_cross_entropy(logits, Arc::new(vec![sample.label]));
-                        let loss_val = tape.value(loss).get(0, 0);
-                        let grads = tape.backward(loss, ps.len());
-                        (loss_val, grads)
-                    })
-                    .collect();
-
-                let mut batch_grads = GradStore::new(ps.len());
-                for (loss_val, grads) in &results {
-                    epoch_loss += *loss_val as f64;
-                    batch_grads.merge(grads);
+            let wd = self.cfg.watchdog;
+            // Cheap checkpoint: ParamStore clones share the value Arcs and
+            // the optimizer only copies its moment buffers; the store
+            // copies-on-write under optimizer steps, leaving this intact.
+            let mut snapshot = wd.enabled.then(|| (ps.clone(), self.optimizer.clone()));
+            if let (Some((snap_ps, _)), Some(inj)) = (snapshot.as_mut(), self.injector.as_ref()) {
+                if inj.corrupt_checkpoint(self.epoch) && !snap_ps.is_empty() {
+                    // Injected checkpoint corruption: poison the snapshot so
+                    // restore-time validation must catch it.
+                    snap_ps.update(ParamId(0), |m| m.set(0, 0, f32::NAN));
                 }
-                batch_grads.scale(1.0 / chunk.len() as f32);
-                if let Some(clip) = self.cfg.grad_clip {
-                    batch_grads.clip_global_norm(clip);
-                }
-                self.optimizer.step(ps, &batch_grads);
             }
-            self.history.push(EpochStats {
-                epoch: self.epoch,
-                loss: (epoch_loss / samples.len() as f64) as f32,
-            });
+            let mut attempt = 0usize;
+            loop {
+                self.optimizer
+                    .set_learning_rate(self.retry_lr(self.epoch, attempt, wd));
+                let cause = match self.run_epoch(model, ps, samples, attempt) {
+                    Ok(loss) => {
+                        self.history.push(EpochStats {
+                            epoch: self.epoch,
+                            loss,
+                            retries: attempt,
+                        });
+                        break;
+                    }
+                    Err(cause) => cause,
+                };
+                let (snap_ps, snap_opt) = snapshot
+                    .as_ref()
+                    .expect("divergence is only detected with the watchdog enabled");
+                if !snap_ps.all_finite() {
+                    return Err(Error::CheckpointCorrupt { epoch: self.epoch });
+                }
+                // Roll back to the last good state whether or not budget
+                // remains, so a caller that gives up still holds finite
+                // parameters.
+                *ps = snap_ps.clone();
+                self.optimizer = snap_opt.clone();
+                attempt += 1;
+                if attempt > wd.max_retries {
+                    return Err(Error::Diverged {
+                        epoch: self.epoch,
+                        retries: wd.max_retries,
+                    });
+                }
+                self.recoveries.push(RecoveryEvent {
+                    epoch: self.epoch,
+                    attempt,
+                    cause,
+                    lr_next: self.retry_lr(self.epoch, attempt, wd),
+                });
+            }
         }
         Ok(())
+    }
+
+    /// Learning rate for retry `attempt` (0-based) of `epoch`: the
+    /// scheduled rate, unchanged for the first attempt and first retry,
+    /// then damped by `lr_backoff` per further retry.
+    fn retry_lr(&self, epoch: usize, attempt: usize, wd: WatchdogConfig) -> f32 {
+        let scheduled = self.schedule.lr_at(self.cfg.lr, epoch);
+        if attempt <= 1 {
+            scheduled
+        } else {
+            scheduled * wd.lr_backoff.powi(attempt as i32 - 1)
+        }
+    }
+
+    /// One epoch over `samples`: shuffled minibatches, parallel per-sample
+    /// gradients, ordered reduction, optimizer steps. Returns the mean
+    /// epoch loss, or the divergence cause when the watchdog detects a
+    /// non-finite loss or gradient (aborting the epoch mid-way; the caller
+    /// rolls back). RNG streams depend only on `(seed, epoch, sample)`, so
+    /// a retry of the same epoch replays it exactly.
+    fn run_epoch(
+        &mut self,
+        model: &impl LinkModel,
+        ps: &mut ParamStore,
+        samples: &[PreparedSample],
+        attempt: usize,
+    ) -> std::result::Result<f32, DivergenceCause> {
+        let detect = self.cfg.watchdog.enabled;
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let mut shuffle_rng =
+            StdRng::seed_from_u64(self.cfg.seed ^ (self.epoch as u64).wrapping_mul(0x9E37));
+        amdgcnn_data::types::shuffle(&mut order, &mut shuffle_rng);
+
+        let mut epoch_loss = 0.0f64;
+        for chunk in order.chunks(self.cfg.batch_size) {
+            // Parallel per-sample gradients; ordered reduction below.
+            let results: Vec<(f32, GradStore)> = chunk
+                .par_iter()
+                .map(|&idx| {
+                    let sample = &samples[idx];
+                    let mut dropout_rng = StdRng::seed_from_u64(
+                        self.cfg.seed
+                            ^ (self.epoch as u64) << 32
+                            ^ (idx as u64).wrapping_mul(0x517c_c1b7_2722_0a95),
+                    );
+                    let mut tape = Tape::new();
+                    let logits =
+                        model.forward_sample(&mut tape, ps, sample, Some(&mut dropout_rng));
+                    let loss = tape.softmax_cross_entropy(logits, Arc::new(vec![sample.label]));
+                    let loss_val = tape.value(loss).get(0, 0);
+                    let grads = tape.backward(loss, ps.len());
+                    (loss_val, grads)
+                })
+                .collect();
+
+            let mut batch_grads = GradStore::new(ps.len());
+            let mut losses_finite = true;
+            for (loss_val, grads) in &results {
+                epoch_loss += *loss_val as f64;
+                losses_finite &= loss_val.is_finite();
+                batch_grads.merge(grads);
+            }
+            if detect && !losses_finite {
+                return Err(DivergenceCause::NonFiniteLoss);
+            }
+            batch_grads.scale(1.0 / chunk.len() as f32);
+            if let Some(clip) = self.cfg.grad_clip {
+                batch_grads.clip_global_norm(clip);
+            }
+            if detect && !batch_grads.all_finite() {
+                return Err(DivergenceCause::NonFiniteGradient);
+            }
+            self.optimizer.step(ps, &batch_grads);
+        }
+        let mut loss = (epoch_loss / samples.len() as f64) as f32;
+        if self
+            .injector
+            .as_ref()
+            .is_some_and(|inj| inj.nan_loss(self.epoch, attempt))
+        {
+            // Injected divergence: the fault corrupts the reported loss
+            // after the epoch ran clean, exercising the real detection and
+            // rollback path.
+            loss = f32::NAN;
+        }
+        if detect && !loss.is_finite() {
+            return Err(DivergenceCause::NonFiniteLoss);
+        }
+        Ok(loss)
     }
 }
 

@@ -6,6 +6,7 @@
 
 use crate::artifact::{instantiate, load_model, ArtifactMeta};
 use crate::stats::{ServerStats, StatsCollector};
+use am_dgcnn::fault::{EngineFault, FaultInjector, TransientFault};
 use am_dgcnn::{prepare_sample, DgcnnModel, FeatureConfig, LinkModel, PreparedSample};
 use amdgcnn_data::{Dataset, LabeledLink};
 use amdgcnn_tensor::{ParamStore, Tape};
@@ -102,6 +103,7 @@ pub struct InferenceEngine {
     ds: Dataset,
     fcfg: FeatureConfig,
     cache: Mutex<LruCache>,
+    injector: Option<Arc<FaultInjector>>,
     pub(crate) stats: StatsCollector,
 }
 
@@ -145,8 +147,20 @@ impl InferenceEngine {
             ds,
             fcfg,
             cache: Mutex::new(LruCache::new(cache_capacity)),
+            injector: None,
             stats: StatsCollector::default(),
         })
+    }
+
+    /// Attach a deterministic fault injector: [`try_predict`] calls will
+    /// panic, fail transiently, or run slow on the schedule of the
+    /// injector's plan. Direct [`predict`] calls bypass injection.
+    ///
+    /// [`try_predict`]: InferenceEngine::try_predict
+    /// [`predict`]: InferenceEngine::predict
+    pub fn with_fault_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.injector = Some(injector);
+        self
     }
 
     /// Read an artifact from `r` and bind it to `ds` in one step.
@@ -167,7 +181,7 @@ impl InferenceEngine {
 
     /// Current number of cached prepared subgraphs.
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().expect("cache lock").len()
+        lock_cache(&self.cache).len()
     }
 
     /// Snapshot of the engine's counters.
@@ -183,6 +197,37 @@ impl InferenceEngine {
         let logits = self.model.forward_sample(&mut tape, &self.ps, sample, None);
         let probs = tape.softmax_rows(logits);
         tape.value(probs).row(0).to_vec()
+    }
+
+    /// Fallible batch prediction: [`predict`](InferenceEngine::predict)
+    /// plus fault injection, the path the batch worker drives.
+    ///
+    /// Consults the attached [`FaultInjector`] (if any) before doing real
+    /// work: a scheduled panic propagates as a panic (the worker's
+    /// `catch_unwind` isolates it), a transient fault returns `Err` for the
+    /// worker's retry-with-backoff loop, and injected latency sleeps before
+    /// answering. Without an injector this never fails.
+    ///
+    /// # Errors
+    /// [`TransientFault`] when the injector schedules a transient failure
+    /// for this call.
+    pub fn try_predict(&self, queries: &[LinkQuery]) -> Result<Vec<ClassProbs>, TransientFault> {
+        if let Some(inj) = &self.injector {
+            match inj.next_engine_fault() {
+                Some(EngineFault::Panic) => panic!(
+                    "injected fault: worker panic at engine call {}",
+                    inj.engine_calls()
+                ),
+                Some(EngineFault::Transient) => {
+                    return Err(TransientFault {
+                        call: inj.engine_calls(),
+                    })
+                }
+                Some(EngineFault::Latency(d)) => std::thread::sleep(d),
+                None => {}
+            }
+        }
+        Ok(self.predict(queries))
     }
 
     /// Answer a batch of link queries: per-query class probabilities, in
@@ -207,7 +252,7 @@ impl InferenceEngine {
         // Resolve cache hits under one short lock; extraction happens
         // outside it.
         let resolved: Vec<Option<Arc<CacheEntry>>> = {
-            let mut cache = self.cache.lock().expect("cache lock");
+            let mut cache = lock_cache(&self.cache);
             unique.iter().map(|q| cache.get(q)).collect()
         };
 
@@ -242,7 +287,7 @@ impl InferenceEngine {
             })
             .collect();
         {
-            let mut cache = self.cache.lock().expect("cache lock");
+            let mut cache = lock_cache(&self.cache);
             for (q, e) in unique.iter().zip(&entries) {
                 cache.insert(*q, Arc::clone(e));
             }
@@ -277,6 +322,15 @@ impl InferenceEngine {
             .pop()
             .expect("one answer per query")
     }
+}
+
+/// Lock the LRU cache, recovering from poisoning: a worker that panicked
+/// mid-`predict` (between the probe and insert phases) leaves the cache
+/// structurally intact — every entry is either fully inserted or absent —
+/// so continuing with the inner value is sound and keeps one crash from
+/// wedging every future query.
+fn lock_cache(cache: &Mutex<LruCache>) -> std::sync::MutexGuard<'_, LruCache> {
+    cache.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 #[cfg(test)]

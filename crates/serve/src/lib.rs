@@ -15,6 +15,14 @@
 //!    accumulate up to `max_batch`/`max_wait`, execute as one batch, and
 //!    throughput/latency counters are exported via [`ServerStats`].
 //!
+//! The server layer is fault-tolerant: admission is gated by a bounded
+//! queue and a circuit breaker ([`RobustnessConfig`]), queued queries can
+//! carry deadlines, engine panics are isolated per batch with the worker
+//! respawned, and transient faults are retried with backoff. Every
+//! admitted query resolves with class probabilities or a typed [`Error`] —
+//! never a caller panic. A deterministic [`am_dgcnn::FaultInjector`] can
+//! be attached to the engine to exercise all of this in tests.
+//!
 //! ```
 //! use amdgcnn_serve::{save_model, ArtifactMeta, BatchConfig, BatchServer, InferenceEngine};
 //! use am_dgcnn::{Experiment, FeatureConfig, GnnKind, Hyperparams};
@@ -40,7 +48,11 @@
 //! let engine = InferenceEngine::load(artifact.as_slice(), ds.clone(), 64).expect("load");
 //! let server = BatchServer::start(engine, BatchConfig::default());
 //! let link = ds.test[0];
-//! let probs = server.submit((link.u, link.v)).wait();
+//! let probs = server
+//!     .submit((link.u, link.v))
+//!     .expect("admitted")
+//!     .wait()
+//!     .expect("answered");
 //! assert_eq!(probs.len(), ds.num_classes);
 //! ```
 
@@ -48,10 +60,12 @@
 
 pub mod artifact;
 pub mod engine;
+pub mod error;
 pub mod server;
 pub mod stats;
 
 pub use artifact::{instantiate, load_model, save_model, ArtifactMeta, FeatureMeta};
 pub use engine::{ClassProbs, InferenceEngine, LinkQuery};
-pub use server::{BatchConfig, BatchServer, PendingQuery};
+pub use error::Error;
+pub use server::{BatchConfig, BatchServer, PendingQuery, RobustnessConfig};
 pub use stats::ServerStats;

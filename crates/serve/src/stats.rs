@@ -21,6 +21,15 @@ pub(crate) struct StatsCollector {
     cache_misses: AtomicU64,
     dedup_hits: AtomicU64,
     batches: AtomicU64,
+    shed_overload: AtomicU64,
+    shed_degraded: AtomicU64,
+    deadline_expired: AtomicU64,
+    worker_panics: AtomicU64,
+    worker_respawns: AtomicU64,
+    breaker_trips: AtomicU64,
+    breaker_resets: AtomicU64,
+    engine_retries: AtomicU64,
+    failed_queries: AtomicU64,
     latencies_us: Mutex<LatencyRing>,
 }
 
@@ -47,10 +56,48 @@ impl StatsCollector {
         self.dedup_hits.fetch_add(n, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_shed_overload(&self, n: u64) {
+        self.shed_overload.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_shed_degraded(&self, n: u64) {
+        self.shed_degraded.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_deadline_expired(&self, n: u64) {
+        self.deadline_expired.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_worker_respawn(&self) {
+        self.worker_respawns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_breaker_trip(&self) {
+        self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_breaker_reset(&self) {
+        self.breaker_resets.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_engine_retries(&self, n: u64) {
+        self.engine_retries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_failed_queries(&self, n: u64) {
+        self.failed_queries.fetch_add(n, Ordering::Relaxed);
+    }
+
     pub(crate) fn record_batch(&self, latency: Duration) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        let mut ring = self.latencies_us.lock().expect("stats lock");
+        // A worker that panicked mid-record leaves the ring poisoned but
+        // structurally intact; recover the guard rather than cascading.
+        let mut ring = self.latencies_us.lock().unwrap_or_else(|e| e.into_inner());
         if ring.samples.len() < LATENCY_RING {
             ring.samples.push(us);
         } else {
@@ -71,7 +118,7 @@ impl StatsCollector {
         let mut lat: Vec<u64> = self
             .latencies_us
             .lock()
-            .expect("stats lock")
+            .unwrap_or_else(|e| e.into_inner())
             .samples
             .clone();
         lat.sort_unstable();
@@ -91,6 +138,15 @@ impl StatsCollector {
             } else {
                 queries as f64 / batches as f64
             },
+            shed_overload: self.shed_overload.load(Ordering::Relaxed),
+            shed_degraded: self.shed_degraded.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            worker_respawns: self.worker_respawns.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            breaker_resets: self.breaker_resets.load(Ordering::Relaxed),
+            engine_retries: self.engine_retries.load(Ordering::Relaxed),
+            failed_queries: self.failed_queries.load(Ordering::Relaxed),
             p50_batch_latency: Duration::from_micros(quantile(&lat, 0.50)),
             p99_batch_latency: Duration::from_micros(quantile(&lat, 0.99)),
         }
@@ -130,6 +186,29 @@ pub struct ServerStats {
     pub batches: u64,
     /// `queries_served / batches`, `0.0` before any batch.
     pub mean_batch_size: f64,
+    /// Queries shed at admission because the bounded queue was full.
+    pub shed_overload: u64,
+    /// Queries shed at admission because the circuit breaker was open.
+    pub shed_degraded: u64,
+    /// Queued queries failed because their deadline passed before a batch
+    /// slot reached them.
+    pub deadline_expired: u64,
+    /// Batch executions that ended in a worker panic (each isolated by
+    /// `catch_unwind`; callers received [`Error::WorkerPanicked`]).
+    ///
+    /// [`Error::WorkerPanicked`]: crate::Error::WorkerPanicked
+    pub worker_panics: u64,
+    /// Worker threads respawned by the supervisor after a panic.
+    pub worker_respawns: u64,
+    /// Times the circuit breaker tripped open after consecutive failures.
+    pub breaker_trips: u64,
+    /// Times the breaker closed again after a successful cooldown probe.
+    pub breaker_resets: u64,
+    /// Transient engine faults absorbed by retry-with-backoff.
+    pub engine_retries: u64,
+    /// Queries resolved with a typed error instead of probabilities
+    /// (panics and exhausted retry budgets; sheds are counted separately).
+    pub failed_queries: u64,
     /// Median batch latency over the recent sample window.
     pub p50_batch_latency: Duration,
     /// 99th-percentile batch latency over the recent sample window.
@@ -141,14 +220,25 @@ impl std::fmt::Display for ServerStats {
         write!(
             f,
             "{} queries in {} batches (mean {:.1}/batch), cache hit rate {:.1}% \
-             (+{} batch-dedup), batch latency p50 {:?} p99 {:?}",
+             (+{} batch-dedup), batch latency p50 {:?} p99 {:?}, \
+             shed {} overload / {} degraded, {} deadline-expired, {} failed, \
+             {} panics ({} respawns), breaker {} trips / {} resets, {} retries",
             self.queries_served,
             self.batches,
             self.mean_batch_size,
             self.cache_hit_rate * 100.0,
             self.dedup_hits,
             self.p50_batch_latency,
-            self.p99_batch_latency
+            self.p99_batch_latency,
+            self.shed_overload,
+            self.shed_degraded,
+            self.deadline_expired,
+            self.failed_queries,
+            self.worker_panics,
+            self.worker_respawns,
+            self.breaker_trips,
+            self.breaker_resets,
+            self.engine_retries
         )
     }
 }
@@ -183,6 +273,33 @@ mod tests {
         assert_eq!(s.mean_batch_size, 1.0);
         assert_eq!(s.p50_batch_latency, Duration::from_micros(200));
         assert_eq!(s.p99_batch_latency, Duration::from_micros(400));
+    }
+
+    #[test]
+    fn robustness_counters_flow_to_snapshot() {
+        let c = StatsCollector::default();
+        c.record_shed_overload(3);
+        c.record_shed_degraded(2);
+        c.record_deadline_expired(5);
+        c.record_worker_panic();
+        c.record_worker_respawn();
+        c.record_breaker_trip();
+        c.record_breaker_reset();
+        c.record_engine_retries(4);
+        c.record_failed_queries(7);
+        let s = c.snapshot();
+        assert_eq!(s.shed_overload, 3);
+        assert_eq!(s.shed_degraded, 2);
+        assert_eq!(s.deadline_expired, 5);
+        assert_eq!(s.worker_panics, 1);
+        assert_eq!(s.worker_respawns, 1);
+        assert_eq!(s.breaker_trips, 1);
+        assert_eq!(s.breaker_resets, 1);
+        assert_eq!(s.engine_retries, 4);
+        assert_eq!(s.failed_queries, 7);
+        let text = s.to_string();
+        assert!(text.contains("shed 3 overload"));
+        assert!(text.contains("breaker 1 trips"));
     }
 
     #[test]

@@ -100,7 +100,7 @@ fn batched_and_unbatched_answers_are_identical() {
             max_wait: Duration::from_millis(5),
         },
     );
-    let batched = server.submit_all(&queries);
+    let batched = server.submit_all(&queries).expect("batched answers");
 
     assert_eq!(unbatched, batched);
 

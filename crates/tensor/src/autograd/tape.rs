@@ -209,18 +209,10 @@ impl Tape {
         );
         let mut v = src.clone();
         for &(start, end) in segments.iter() {
-            let slice = &mut v.data_mut()[start..end];
-            let m = slice.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut z = 0.0;
-            for e in slice.iter_mut() {
-                *e = (*e - m).exp();
-                z += *e;
-            }
-            if z > 0.0 {
-                for e in slice.iter_mut() {
-                    *e /= z;
-                }
-            }
+            // Overflow-safe (max-subtracted) with a uniform fallback for
+            // degenerate segments — huge attention logits must not produce
+            // non-finite weights.
+            Matrix::softmax_slice(&mut v.data_mut()[start..end]);
         }
         self.push(v, Op::SegmentSoftmax { src: x, segments })
     }
@@ -524,6 +516,26 @@ mod tests {
         let s: f32 = (2..5).map(|i| v.get(i, 0)).sum();
         assert!((s - 1.0).abs() < 1e-5);
         assert!(v.get(4, 0) > v.get(3, 0));
+    }
+
+    #[test]
+    fn segment_softmax_survives_huge_attention_logits() {
+        // Attention logits the size GCN-LASE-style layers can emit on a
+        // badly scaled graph: exp would overflow without max subtraction.
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::col_vector(&[
+            3.0e38, 3.0e38, -3.0e38, 1.0e38, 9.9e37,
+        ]));
+        let segs = Arc::new(vec![(0usize, 3usize), (3, 5)]);
+        let y = t.segment_softmax(x, segs);
+        let v = t.value(y);
+        assert!(v.all_finite(), "attention weights must stay finite");
+        assert!((v.get(0, 0) - 0.5).abs() < 1e-5);
+        assert!((v.get(1, 0) - 0.5).abs() < 1e-5);
+        assert!(v.get(2, 0) < 1e-6);
+        let s: f32 = (3..5).map(|i| v.get(i, 0)).sum();
+        assert!((s - 1.0).abs() < 1e-5);
+        assert!((v.get(3, 0) - 1.0).abs() < 1e-5, "dominant logit wins");
     }
 
     #[test]

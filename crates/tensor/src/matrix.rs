@@ -453,24 +453,46 @@ impl Matrix {
         out
     }
 
-    /// Row-wise softmax (numerically stable).
+    /// Row-wise softmax, overflow-safe: the row max is subtracted before
+    /// exponentiating, so arbitrarily large logits cannot overflow `exp`.
+    /// Degenerate rows whose normalizer is non-positive or non-finite
+    /// (all-`-∞` logits, NaN inputs) fall back to the uniform distribution
+    /// instead of emitting unnormalized garbage.
     pub fn softmax_rows(&self) -> Matrix {
         let mut out = self.clone();
         for r in 0..out.rows {
-            let row = out.row_mut(r);
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut z = 0.0;
-            for v in row.iter_mut() {
+            Matrix::softmax_slice(out.row_mut(r));
+        }
+        out
+    }
+
+    /// In-place overflow-safe softmax over one contiguous slice; shared by
+    /// [`Matrix::softmax_rows`] and the autograd segment softmax (GAT
+    /// attention normalization). Subtracts the max before exponentiating;
+    /// if the normalizer still comes out non-positive or non-finite, the
+    /// slice becomes the uniform distribution — attention degrades to mean
+    /// aggregation rather than poisoning downstream activations.
+    pub(crate) fn softmax_slice(slice: &mut [f32]) {
+        if slice.is_empty() {
+            return;
+        }
+        let m = slice.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        // All-(-∞) rows have no finite max; skip straight to the fallback.
+        let mut z = 0.0;
+        if m.is_finite() {
+            for v in slice.iter_mut() {
                 *v = (*v - m).exp();
                 z += *v;
             }
-            if z > 0.0 {
-                for v in row.iter_mut() {
-                    *v /= z;
-                }
-            }
         }
-        out
+        if z > 0.0 && z.is_finite() {
+            for v in slice.iter_mut() {
+                *v /= z;
+            }
+        } else {
+            let uniform = 1.0 / slice.len() as f32;
+            slice.fill(uniform);
+        }
     }
 
     fn assert_same_shape(&self, other: &Matrix, ctx: &str) {
@@ -599,6 +621,53 @@ mod tests {
         assert!(s.get(0, 2) > s.get(0, 1));
         assert!((s.get(1, 2) - 1.0).abs() < 1e-5);
         assert!(s.all_finite());
+    }
+
+    #[test]
+    fn softmax_rows_survives_huge_logits() {
+        // Without max subtraction exp(1e38) overflows to ∞ and the row
+        // normalizes to NaN; the overflow-safe path must stay finite.
+        let m = Matrix::from_vec(2, 3, vec![1e38, 1e38, -1e38, 3.4e38, 0.0, -3.4e38]);
+        let s = m.softmax_rows();
+        assert!(
+            s.all_finite(),
+            "huge logits must not overflow: {:?}",
+            s.data()
+        );
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {r} sums to {sum}");
+        }
+        assert!((s.get(0, 0) - 0.5).abs() < 1e-5);
+        assert!(s.get(0, 2) < 1e-6);
+        assert!((s.get(1, 0) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_rows_degenerate_rows_fall_back_to_uniform() {
+        // All -∞ (normalizer 0) and NaN-contaminated rows both degrade to
+        // the uniform distribution instead of unnormalized garbage.
+        let m = Matrix::from_vec(
+            2,
+            4,
+            vec![
+                f32::NEG_INFINITY,
+                f32::NEG_INFINITY,
+                f32::NEG_INFINITY,
+                f32::NEG_INFINITY,
+                f32::NAN,
+                1.0,
+                2.0,
+                3.0,
+            ],
+        );
+        let s = m.softmax_rows();
+        assert!(s.all_finite());
+        for r in 0..2 {
+            for c in 0..4 {
+                assert!((s.get(r, c) - 0.25).abs() < 1e-6, "({r},{c})");
+            }
+        }
     }
 
     #[test]

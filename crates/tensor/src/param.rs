@@ -81,6 +81,13 @@ impl ParamStore {
             .map(|m| m.data().iter().map(|v| v * v).sum::<f32>())
             .sum()
     }
+
+    /// True when every scalar of every parameter is finite — the
+    /// validity check the training watchdog runs on rollback checkpoints
+    /// and the serving layer can run on loaded artifacts.
+    pub fn all_finite(&self) -> bool {
+        self.values.iter().all(|m| m.all_finite())
+    }
 }
 
 /// Accumulated gradients, indexed by [`ParamId`]. Entries stay `None` for
@@ -220,6 +227,18 @@ mod tests {
         let pre2 = g.clip_global_norm(10.0);
         assert!((pre2 - 1.0).abs() < 1e-5);
         assert!((g.global_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn store_finiteness_check_catches_poisoned_params() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::ones(2, 2));
+        store.register("b", Matrix::zeros(1, 2));
+        assert!(store.all_finite());
+        store.update(w, |m| m.set(1, 1, f32::NAN));
+        assert!(!store.all_finite());
+        store.update(w, |m| m.set(1, 1, f32::INFINITY));
+        assert!(!store.all_finite());
     }
 
     #[test]
