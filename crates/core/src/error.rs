@@ -47,6 +47,21 @@ pub enum Error {
         /// The epoch (1-based) whose checkpoint failed validation.
         epoch: usize,
     },
+    /// A durable checkpoint could not be written, read, or verified
+    /// (I/O failure, truncation, checksum mismatch). The detail carries
+    /// the underlying error text; it is a `String` so the error type stays
+    /// `Clone + PartialEq + Eq`.
+    CheckpointIo {
+        /// Human-readable description of the failure.
+        detail: String,
+    },
+    /// A checkpoint loaded cleanly but does not belong to this experiment
+    /// (different seed, parameter names, or shapes) — resuming from it
+    /// would silently change the run.
+    ResumeMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -79,6 +94,12 @@ impl std::fmt::Display for Error {
                 "rollback checkpoint for epoch {epoch} holds non-finite \
                  parameters; cannot recover from it"
             ),
+            Error::CheckpointIo { detail } => {
+                write!(f, "durable checkpoint failure: {detail}")
+            }
+            Error::ResumeMismatch { detail } => {
+                write!(f, "checkpoint does not match this experiment: {detail}")
+            }
         }
     }
 }

@@ -17,6 +17,7 @@
 //! `plan.seed`, so re-running the same plan against the same call sequence
 //! replays the same faults.
 
+use amdgcnn_tensor::DiskFault;
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -84,6 +85,16 @@ pub struct FaultPlan {
     /// Corrupt the watchdog's rollback checkpoint taken at these epochs
     /// (1-based), so restoring it must be detected and refused.
     pub corrupt_checkpoint_epochs: Vec<usize>,
+    /// Tear these 1-based durable writes: the file is renamed into place
+    /// holding only a prefix of its bytes (a crash racing writeback).
+    pub torn_write_saves: Vec<u64>,
+    /// Flip one bit in the middle of these 1-based durable writes,
+    /// modelling silent media corruption only checksums can catch.
+    pub bit_flip_saves: Vec<u64>,
+    /// Abort these 1-based durable writes before the atomic rename: the
+    /// destination file never changes and a stale `.tmp` is left behind
+    /// (a crash before commit).
+    pub partial_flush_saves: Vec<u64>,
 }
 
 impl FaultPlan {
@@ -122,6 +133,7 @@ impl FaultPlan {
 pub struct FaultInjector {
     plan: FaultPlan,
     calls: AtomicU64,
+    saves: AtomicU64,
     rng: Mutex<StdRng>,
 }
 
@@ -132,6 +144,7 @@ impl FaultInjector {
         Self {
             plan,
             calls: AtomicU64::new(0),
+            saves: AtomicU64::new(0),
             rng: Mutex::new(rng),
         }
     }
@@ -182,6 +195,31 @@ impl FaultInjector {
     /// Should the rollback checkpoint taken at `epoch` be corrupted?
     pub fn corrupt_checkpoint(&self, epoch: usize) -> bool {
         self.plan.corrupt_checkpoint_epochs.contains(&epoch)
+    }
+
+    /// Number of durable writes observed so far.
+    pub fn disk_saves(&self) -> u64 {
+        self.saves.load(Ordering::Relaxed)
+    }
+
+    /// Decide the durability fault (if any) for the next durable write and
+    /// advance the save counter. Wired through the disk checkpoint path
+    /// (`am_dgcnn::checkpoint`, `amdgcnn_serve::save_model_file`), so every
+    /// crash-recovery branch is reachable deterministically. Precedence on
+    /// a collision: torn write > bit flip > partial flush.
+    pub fn next_disk_fault(&self) -> Option<DiskFault> {
+        let save = self.saves.fetch_add(1, Ordering::Relaxed) + 1;
+        let p = &self.plan;
+        if p.torn_write_saves.contains(&save) {
+            return Some(DiskFault::TornWrite);
+        }
+        if p.bit_flip_saves.contains(&save) {
+            return Some(DiskFault::BitFlip);
+        }
+        if p.partial_flush_saves.contains(&save) {
+            return Some(DiskFault::PartialFlush);
+        }
+        None
     }
 }
 
@@ -264,7 +302,24 @@ mod tests {
     fn quiet_plan_never_faults() {
         let inj = FaultInjector::new(FaultPlan::default());
         assert!((0..100).all(|_| inj.next_engine_fault().is_none()));
+        assert!((0..100).all(|_| inj.next_disk_fault().is_none()));
         assert!(!FaultPlan::default().engine_faults_possible());
         assert!(FaultPlan::panic_every(2).engine_faults_possible());
+    }
+
+    #[test]
+    fn disk_faults_fire_on_scheduled_saves_with_precedence() {
+        let inj = FaultInjector::new(FaultPlan {
+            torn_write_saves: vec![2],
+            bit_flip_saves: vec![2, 3],
+            partial_flush_saves: vec![3, 4],
+            ..FaultPlan::default()
+        });
+        assert_eq!(inj.next_disk_fault(), None);
+        assert_eq!(inj.next_disk_fault(), Some(DiskFault::TornWrite));
+        assert_eq!(inj.next_disk_fault(), Some(DiskFault::BitFlip));
+        assert_eq!(inj.next_disk_fault(), Some(DiskFault::PartialFlush));
+        assert_eq!(inj.next_disk_fault(), None);
+        assert_eq!(inj.disk_saves(), 5);
     }
 }

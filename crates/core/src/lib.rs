@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod error;
 pub mod fault;
 pub mod features;
@@ -28,12 +29,14 @@ pub mod schedule;
 pub mod train;
 pub mod wlnm;
 
+pub use checkpoint::{CheckpointDir, TrainState};
 pub use error::Error;
 pub use fault::{EngineFault, FaultInjector, FaultPlan, TransientFault};
 pub use features::FeatureConfig;
 pub use model::{DgcnnModel, GnnKind, ModelConfig};
 pub use pipeline::{
-    evaluate_model, EvalMetrics, Experiment, ExperimentBuilder, Hyperparams, Session,
+    evaluate_model, CheckpointPolicy, EvalMetrics, Experiment, ExperimentBuilder, Hyperparams,
+    Session,
 };
 pub use sample::{prepare_batch, prepare_sample, PreparedSample};
 pub use schedule::{EarlyStopping, LrSchedule};

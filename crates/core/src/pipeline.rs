@@ -2,7 +2,9 @@
 //! model → metrics. This is the API the paper's tables and figures are
 //! regenerated through (crates/bench) and the entry point for examples.
 
+use crate::checkpoint::CheckpointDir;
 use crate::error::{Error, Result};
+use crate::fault::FaultInjector;
 use crate::features::FeatureConfig;
 use crate::metrics::{accuracy, argmax_predictions, average_precision, macro_auc};
 use crate::model::{DgcnnModel, GnnKind, ModelConfig};
@@ -13,6 +15,21 @@ use amdgcnn_data::Dataset;
 use amdgcnn_tensor::ParamStore;
 use rand::{rngs::StdRng, SeedableRng};
 use serde::Serialize;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Durable-checkpointing policy for an [`Experiment`].
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Directory holding the generation-numbered checkpoint files.
+    pub dir: PathBuf,
+    /// Save a [`crate::checkpoint::TrainState`] every this many epochs
+    /// (clamped to at least 1).
+    pub every: usize,
+    /// Generations to retain (clamped to at least 2, so a torn newest
+    /// generation always leaves a fallback).
+    pub keep: usize,
+}
 
 /// The tunable hyperparameters of Table I.
 #[derive(Debug, Clone, Copy, Serialize, PartialEq)]
@@ -59,6 +76,13 @@ pub struct Experiment {
     /// Learning-rate schedule applied by sessions built from this
     /// experiment.
     pub schedule: LrSchedule,
+    /// Durable checkpointing (None disables).
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// When true, [`Experiment::session`] restores the newest loadable
+    /// generation from [`CheckpointPolicy::dir`] before returning.
+    pub resume: bool,
+    /// Deterministic fault injector attached to sessions (testing hook).
+    pub injector: Option<Arc<FaultInjector>>,
 }
 
 /// Fluent construction of an [`Experiment`] — the supported way to deviate
@@ -83,6 +107,9 @@ pub struct ExperimentBuilder {
     hyper: Hyperparams,
     train: TrainConfig,
     schedule: LrSchedule,
+    checkpoint: Option<CheckpointPolicy>,
+    resume: bool,
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl Default for ExperimentBuilder {
@@ -96,6 +123,9 @@ impl Default for ExperimentBuilder {
             },
             hyper,
             schedule: LrSchedule::Constant,
+            checkpoint: None,
+            resume: false,
+            injector: None,
         }
     }
 }
@@ -146,6 +176,55 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Durably checkpoint the training state to `dir` every `every` epochs
+    /// (crash-safe: temp + fsync + atomic rename, checksummed,
+    /// generation-numbered — see [`crate::checkpoint`]).
+    pub fn checkpoint_to(mut self, dir: impl Into<PathBuf>, every: usize) -> Self {
+        self.checkpoint = Some(CheckpointPolicy {
+            dir: dir.into(),
+            every: every.max(1),
+            keep: 2,
+        });
+        self
+    }
+
+    /// Full control over the checkpoint policy (directory, cadence,
+    /// retained generations).
+    pub fn checkpoint(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = Some(policy);
+        self
+    }
+
+    /// Resume from the newest loadable checkpoint generation in `dir`
+    /// (and keep checkpointing there). A directory with no checkpoints
+    /// starts fresh; a directory where every generation is corrupt is an
+    /// error at [`Experiment::session`] time. Because the trainer's RNG
+    /// streams are pure functions of `(seed, epoch, sample)`, the resumed
+    /// run is bit-identical to one that never stopped.
+    pub fn resume_from(mut self, dir: impl Into<PathBuf>) -> Self {
+        let dir = dir.into();
+        match &mut self.checkpoint {
+            Some(policy) => policy.dir = dir,
+            None => {
+                self.checkpoint = Some(CheckpointPolicy {
+                    dir,
+                    every: 1,
+                    keep: 2,
+                });
+            }
+        }
+        self.resume = true;
+        self
+    }
+
+    /// Attach a deterministic fault injector to sessions built from this
+    /// experiment (testing hook: schedules NaN losses, checkpoint
+    /// corruption, and disk faults on checkpoint writes).
+    pub fn fault_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> Experiment {
         Experiment {
@@ -153,6 +232,9 @@ impl ExperimentBuilder {
             hyper: self.hyper,
             train: self.train,
             schedule: self.schedule,
+            checkpoint: self.checkpoint,
+            resume: self.resume,
+            injector: self.injector,
         }
     }
 }
@@ -188,11 +270,19 @@ impl Experiment {
             .expect("one checkpoint requested"))
     }
 
-    /// Build a reusable session (prepared samples + fresh model).
+    /// Build a reusable session (prepared samples + fresh model). When the
+    /// experiment was built with
+    /// [`resume_from`](ExperimentBuilder::resume_from), the newest loadable
+    /// checkpoint generation is restored into the session before it is
+    /// returned.
     ///
     /// # Errors
-    /// [`Error::SubsetTooLarge`] when `train_subset` exceeds the training
-    /// split.
+    /// - [`Error::SubsetTooLarge`] when `train_subset` exceeds the training
+    ///   split.
+    /// - [`Error::CheckpointIo`] when resuming and checkpoint files exist
+    ///   but none loads cleanly.
+    /// - [`Error::ResumeMismatch`] when a checkpoint loads but belongs to a
+    ///   different experiment (seed or parameter shapes differ).
     pub fn session(&self, ds: &Dataset, train_subset: Option<usize>) -> Result<Session> {
         let fcfg = FeatureConfig::for_graph(ds.graph.num_node_types());
         let cfg = self.model_config(ds, &fcfg);
@@ -209,13 +299,29 @@ impl Experiment {
             Some(n) => &ds.train[..n],
             None => &ds.train[..],
         };
-        Ok(Session {
+        let mut session = Session {
             model,
             ps,
             train_samples: prepare_batch(ds, train_links, &fcfg),
             test_samples: prepare_batch(ds, &ds.test, &fcfg),
             trainer: Trainer::new(self.train).with_schedule(self.schedule),
-        })
+        };
+        if let Some(inj) = &self.injector {
+            session.trainer.attach_fault_injector(inj.clone());
+        }
+        if self.resume {
+            let policy = self
+                .checkpoint
+                .as_ref()
+                .ok_or_else(|| Error::CheckpointIo {
+                    detail: "resume requested without a checkpoint directory".into(),
+                })?;
+            let dir = CheckpointDir::create(&policy.dir)?;
+            if let Some((_, state)) = dir.latest()? {
+                session.trainer.restore(&state, &mut session.ps)?;
+            }
+        }
+        Ok(session)
     }
 
     /// Train a session to each checkpoint in `epoch_checkpoints`
@@ -239,18 +345,52 @@ impl Experiment {
                     requested: target,
                 });
             }
-            let additional = target - session.trainer.epochs_done();
-            if additional > 0 {
-                session.trainer.train(
-                    &session.model,
-                    &mut session.ps,
-                    &session.train_samples,
-                    additional,
-                )?;
+            match &self.checkpoint {
+                None => {
+                    let additional = target - session.trainer.epochs_done();
+                    if additional > 0 {
+                        session.trainer.train(
+                            &session.model,
+                            &mut session.ps,
+                            &session.train_samples,
+                            additional,
+                        )?;
+                    }
+                }
+                Some(policy) => {
+                    // Train in chunks aligned to the checkpoint cadence so a
+                    // crash at any instant loses at most `every - 1` epochs.
+                    let every = policy.every.max(1);
+                    while session.trainer.epochs_done() < target {
+                        let done = session.trainer.epochs_done();
+                        let next_save = (done / every + 1) * every;
+                        let step = next_save.min(target) - done;
+                        session.trainer.train(
+                            &session.model,
+                            &mut session.ps,
+                            &session.train_samples,
+                            step,
+                        )?;
+                        if session.trainer.epochs_done().is_multiple_of(every) {
+                            self.save_checkpoint(&session, policy)?;
+                        }
+                    }
+                }
             }
             out.push(session.evaluate());
         }
         Ok(out)
+    }
+
+    /// Durably write the session's current [`crate::checkpoint::TrainState`]
+    /// as a new generation, consulting the fault injector for a scheduled
+    /// disk fault (testing hook; `None` in production).
+    fn save_checkpoint(&self, session: &Session, policy: &CheckpointPolicy) -> Result<()> {
+        let dir = CheckpointDir::create(&policy.dir)?;
+        let state = session.trainer.snapshot(&session.ps);
+        let fault = self.injector.as_ref().and_then(|inj| inj.next_disk_fault());
+        dir.save(&state, policy.keep, fault)?;
+        Ok(())
     }
 }
 

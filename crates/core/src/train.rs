@@ -6,6 +6,7 @@
 //! parallel map followed by an ordered fold — so training is bit-for-bit
 //! reproducible for a fixed seed regardless of thread scheduling.
 
+use crate::checkpoint::TrainState;
 use crate::error::{Error, Result};
 use crate::fault::FaultInjector;
 use crate::sample::PreparedSample;
@@ -282,6 +283,79 @@ impl Trainer {
                 });
             }
         }
+        Ok(())
+    }
+
+    /// Capture a durable, resumable snapshot of the run: parameters,
+    /// optimizer moments, epoch counter, seed, and the history/recovery
+    /// logs. Because every RNG stream the trainer uses is a pure function
+    /// of `(seed, epoch, sample)`, this snapshot is sufficient for a
+    /// resumed run to be **bit-identical** to an uninterrupted one.
+    pub fn snapshot(&self, ps: &ParamStore) -> TrainState {
+        TrainState {
+            epochs_done: self.epoch,
+            seed: self.cfg.seed,
+            params: ps.clone(),
+            opt: self.optimizer.export_state(),
+            history: self.history.clone(),
+            recoveries: self.recoveries.clone(),
+        }
+    }
+
+    /// Restore this trainer (and `ps`) from a snapshot taken by
+    /// [`snapshot`](Self::snapshot), after verifying the snapshot belongs
+    /// to this experiment.
+    ///
+    /// # Errors
+    /// [`Error::ResumeMismatch`] when the snapshot's seed differs from the
+    /// configured one, or its parameters disagree with `ps` in count,
+    /// name, or shape — continuing from such a snapshot would silently
+    /// change the run.
+    pub fn restore(&mut self, state: &TrainState, ps: &mut ParamStore) -> Result<()> {
+        if state.seed != self.cfg.seed {
+            return Err(Error::ResumeMismatch {
+                detail: format!(
+                    "checkpoint was trained with seed {} but this experiment \
+                     uses seed {}",
+                    state.seed, self.cfg.seed
+                ),
+            });
+        }
+        if state.params.len() != ps.len() {
+            return Err(Error::ResumeMismatch {
+                detail: format!(
+                    "checkpoint holds {} parameters but the model has {}",
+                    state.params.len(),
+                    ps.len()
+                ),
+            });
+        }
+        for (id, value) in state.params.iter() {
+            let expected = ps.get(id);
+            if state.params.name(id) != ps.name(id)
+                || value.rows() != expected.rows()
+                || value.cols() != expected.cols()
+            {
+                return Err(Error::ResumeMismatch {
+                    detail: format!(
+                        "parameter {} is {:?} {}x{} in the checkpoint but \
+                         {:?} {}x{} in the model",
+                        id.0,
+                        state.params.name(id),
+                        value.rows(),
+                        value.cols(),
+                        ps.name(id),
+                        expected.rows(),
+                        expected.cols()
+                    ),
+                });
+            }
+        }
+        *ps = state.params.clone();
+        self.optimizer.restore_state(state.opt.clone());
+        self.epoch = state.epochs_done;
+        self.history = state.history.clone();
+        self.recoveries = state.recoveries.clone();
         Ok(())
     }
 

@@ -21,5 +21,5 @@ pub use biokg::{biokg_like, BioKgConfig};
 pub use cora::{cora_like, CoraConfig};
 pub use primekg::{primekg_like, PrimeKgConfig};
 pub use stats::{dataset_stats, format_table, DatasetStats};
-pub use types::{Dataset, EdgeAttrTable, LabeledLink};
+pub use types::{DataError, Dataset, EdgeAttrTable, LabeledLink};
 pub use wn18::{wn18_like, Wn18Config};

@@ -15,6 +15,109 @@ pub struct LabeledLink {
     pub class: usize,
 }
 
+/// Typed rejection of a malformed dataset. Returned by the fallible
+/// validation/construction paths ([`Dataset::try_validate`],
+/// [`EdgeAttrTable::try_from_rows`]) so loaders fed untrusted files can
+/// refuse bad data without crashing; the panicking counterparts delegate
+/// to these.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// The dataset's graph has no nodes: nothing can be trained or served.
+    EmptyGraph,
+    /// A split link names a node beyond the graph.
+    LinkOutOfRange {
+        /// Split name (`"train"` / `"test"`).
+        split: &'static str,
+        /// One endpoint.
+        u: u32,
+        /// Other endpoint.
+        v: u32,
+        /// Nodes present in the graph.
+        num_nodes: usize,
+    },
+    /// A split link joins a node to itself.
+    SelfLink {
+        /// Split name.
+        split: &'static str,
+        /// The node linked to itself.
+        node: u32,
+    },
+    /// A split link carries a class id at or beyond `num_classes`.
+    ClassOutOfRange {
+        /// Split name.
+        split: &'static str,
+        /// The offending class id.
+        class: usize,
+        /// Classes the dataset declares.
+        num_classes: usize,
+    },
+    /// An edge-attribute row's width differs from the table's.
+    RaggedAttrRow {
+        /// Row (edge type) index.
+        row: usize,
+        /// Width of the first row.
+        expected: usize,
+        /// Width actually found.
+        got: usize,
+    },
+    /// An edge attribute is NaN or infinite — it would poison every
+    /// forward pass touching an edge of that type.
+    NonFiniteAttr {
+        /// Row (edge type) index.
+        row: usize,
+        /// Column within the row.
+        col: usize,
+    },
+    /// The attribute table covers fewer edge types than the graph uses.
+    AttrTableTooSmall {
+        /// Edge types the table covers.
+        covered: usize,
+        /// Edge types the graph uses.
+        required: usize,
+    },
+}
+
+impl std::fmt::Display for DataError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            DataError::EmptyGraph => write!(f, "dataset graph has no nodes"),
+            DataError::LinkOutOfRange {
+                split,
+                u,
+                v,
+                num_nodes,
+            } => write!(
+                f,
+                "{split}: link ({u},{v}) out of range (graph has {num_nodes} nodes)"
+            ),
+            DataError::SelfLink { split, node } => {
+                write!(f, "{split}: self-link on node {node}")
+            }
+            DataError::ClassOutOfRange {
+                split,
+                class,
+                num_classes,
+            } => write!(
+                f,
+                "{split}: class {class} out of range (dataset has {num_classes})"
+            ),
+            DataError::RaggedAttrRow { row, expected, got } => write!(
+                f,
+                "ragged edge-attr table: row {row} has width {got}, expected {expected}"
+            ),
+            DataError::NonFiniteAttr { row, col } => {
+                write!(f, "non-finite edge attribute at row {row}, column {col}")
+            }
+            DataError::AttrTableTooSmall { covered, required } => write!(
+                f,
+                "edge-attr table covers {covered} types but graph has {required}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
 /// Per-edge-type attribute vectors: row `etype` is the attribute the models
 /// see for edges of that type. Empty (`dim == 0`) means the dataset carries
 /// no usable edge attributes (Cora).
@@ -41,13 +144,36 @@ impl EdgeAttrTable {
     }
 
     /// Explicit table from rows (all must share a width).
+    ///
+    /// # Panics
+    /// Panics on ragged or non-finite rows (see
+    /// [`try_from_rows`](Self::try_from_rows) for the fallible form).
     pub fn from_rows(rows: Vec<Vec<f32>>) -> Self {
+        Self::try_from_rows(rows).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`from_rows`](Self::from_rows): validates that every row
+    /// shares one width and every attribute is finite, so a corrupt or
+    /// hand-edited attribute file is reported instead of poisoning training.
+    ///
+    /// # Errors
+    /// [`DataError::RaggedAttrRow`] on the first width mismatch,
+    /// [`DataError::NonFiniteAttr`] on the first NaN/∞ entry.
+    pub fn try_from_rows(rows: Vec<Vec<f32>>) -> Result<Self, DataError> {
         let dim = rows.first().map_or(0, Vec::len);
-        assert!(
-            rows.iter().all(|r| r.len() == dim),
-            "ragged edge-attr table"
-        );
-        Self { dim, rows }
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != dim {
+                return Err(DataError::RaggedAttrRow {
+                    row: i,
+                    expected: dim,
+                    got: r.len(),
+                });
+            }
+            if let Some(col) = r.iter().position(|v| !v.is_finite()) {
+                return Err(DataError::NonFiniteAttr { row: i, col });
+            }
+        }
+        Ok(Self { dim, rows })
     }
 
     /// Empty table (no edge attributes).
@@ -107,32 +233,68 @@ impl Dataset {
 
     /// Sanity-check internal consistency (used by generators' tests and the
     /// pipeline before training).
+    ///
+    /// # Panics
+    /// Panics on the first inconsistency (see
+    /// [`try_validate`](Self::try_validate) for the fallible form loaders
+    /// of untrusted data should use).
     pub fn validate(&self) {
+        self.try_validate().unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible [`validate`](Self::validate): checks that the graph is
+    /// non-empty, every split link has in-range endpoints, no self-links,
+    /// in-range classes, and that the edge-attribute table covers every
+    /// edge type with finite values.
+    ///
+    /// # Errors
+    /// The first [`DataError`] found, in the order listed above.
+    pub fn try_validate(&self) -> Result<(), DataError> {
+        if self.graph.num_nodes() == 0 {
+            return Err(DataError::EmptyGraph);
+        }
         let n = self.graph.num_nodes() as u32;
         for (split, links) in [("train", &self.train), ("test", &self.test)] {
             for l in links {
-                assert!(
-                    l.u < n && l.v < n,
-                    "{split}: link ({},{}) out of range",
-                    l.u,
-                    l.v
-                );
-                assert_ne!(l.u, l.v, "{split}: self-link");
-                assert!(
-                    l.class < self.num_classes,
-                    "{split}: class {} out of range",
-                    l.class
-                );
+                if l.u >= n || l.v >= n {
+                    return Err(DataError::LinkOutOfRange {
+                        split,
+                        u: l.u,
+                        v: l.v,
+                        num_nodes: n as usize,
+                    });
+                }
+                if l.u == l.v {
+                    return Err(DataError::SelfLink { split, node: l.u });
+                }
+                if l.class >= self.num_classes {
+                    return Err(DataError::ClassOutOfRange {
+                        split,
+                        class: l.class,
+                        num_classes: self.num_classes,
+                    });
+                }
             }
         }
         if self.edge_attrs.dim() > 0 {
-            assert!(
-                self.edge_attrs.num_types() >= self.graph.num_edge_types(),
-                "edge-attr table covers {} types but graph has {}",
-                self.edge_attrs.num_types(),
-                self.graph.num_edge_types()
-            );
+            if self.edge_attrs.num_types() < self.graph.num_edge_types() {
+                return Err(DataError::AttrTableTooSmall {
+                    covered: self.edge_attrs.num_types(),
+                    required: self.graph.num_edge_types(),
+                });
+            }
+            for t in 0..self.edge_attrs.num_types() {
+                if let Some(col) = self
+                    .edge_attrs
+                    .row(t as u16)
+                    .iter()
+                    .position(|v| !v.is_finite())
+                {
+                    return Err(DataError::NonFiniteAttr { row: t, col });
+                }
+            }
         }
+        Ok(())
     }
 }
 
@@ -250,6 +412,114 @@ mod tests {
     #[should_panic(expected = "ragged")]
     fn ragged_table_rejected() {
         let _ = EdgeAttrTable::from_rows(vec![vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn try_from_rows_reports_ragged_and_non_finite() {
+        assert_eq!(
+            EdgeAttrTable::try_from_rows(vec![vec![1.0], vec![1.0, 2.0]]).unwrap_err(),
+            DataError::RaggedAttrRow {
+                row: 1,
+                expected: 1,
+                got: 2
+            }
+        );
+        assert_eq!(
+            EdgeAttrTable::try_from_rows(vec![vec![1.0, f32::NAN]]).unwrap_err(),
+            DataError::NonFiniteAttr { row: 0, col: 1 }
+        );
+        assert_eq!(
+            EdgeAttrTable::try_from_rows(vec![vec![f32::INFINITY]]).unwrap_err(),
+            DataError::NonFiniteAttr { row: 0, col: 0 }
+        );
+        let t = EdgeAttrTable::try_from_rows(vec![vec![0.5, -1.0]]).expect("valid");
+        assert_eq!(t.dim(), 2);
+    }
+
+    #[test]
+    fn try_validate_reports_each_defect() {
+        use amdgcnn_graph::SubgraphConfig;
+        let base = || Dataset {
+            name: "test",
+            graph: KnowledgeGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]),
+            edge_attrs: EdgeAttrTable::one_hot(1),
+            num_classes: 2,
+            train: vec![LabeledLink {
+                u: 0,
+                v: 2,
+                class: 0,
+            }],
+            test: vec![LabeledLink {
+                u: 1,
+                v: 3,
+                class: 1,
+            }],
+            subgraph: SubgraphConfig::default(),
+        };
+        assert_eq!(base().try_validate(), Ok(()));
+
+        let mut ds = base();
+        ds.graph = KnowledgeGraph::from_edges(1, &[]);
+        ds.train = vec![LabeledLink {
+            u: 0,
+            v: 9,
+            class: 0,
+        }];
+        assert_eq!(
+            ds.try_validate(),
+            Err(DataError::LinkOutOfRange {
+                split: "train",
+                u: 0,
+                v: 9,
+                num_nodes: 1
+            })
+        );
+
+        let mut ds = base();
+        ds.test = vec![LabeledLink {
+            u: 2,
+            v: 2,
+            class: 0,
+        }];
+        assert_eq!(
+            ds.try_validate(),
+            Err(DataError::SelfLink {
+                split: "test",
+                node: 2
+            })
+        );
+
+        let mut ds = base();
+        ds.train[0].class = 7;
+        assert_eq!(
+            ds.try_validate(),
+            Err(DataError::ClassOutOfRange {
+                split: "train",
+                class: 7,
+                num_classes: 2
+            })
+        );
+
+        let mut ds = base();
+        ds.graph = {
+            let mut b = amdgcnn_graph::GraphBuilder::new(4);
+            b.add_edge(0, 1, 0);
+            b.add_edge(1, 2, 3); // four edge types, table covers one
+            b.build()
+        };
+        assert_eq!(
+            ds.try_validate(),
+            Err(DataError::AttrTableTooSmall {
+                covered: 1,
+                required: 4
+            })
+        );
+
+        let mut ds = base();
+        ds.graph = KnowledgeGraph::from_edges(0, &[]);
+        ds.train.clear();
+        ds.test.clear();
+        assert_eq!(ds.try_validate(), Err(DataError::EmptyGraph));
     }
 
     #[test]

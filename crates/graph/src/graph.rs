@@ -16,6 +16,46 @@ pub struct Edge {
     pub etype: u16,
 }
 
+/// Typed rejection of malformed graph input. The fallible constructors
+/// ([`GraphBuilder::try_add_edge`], [`KnowledgeGraph::try_from_edges`])
+/// return these so ingestion of untrusted edge lists surfaces bad data as
+/// an error instead of a panic; the panicking counterparts delegate to them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge names a node id at or beyond the node count.
+    EndpointOutOfRange {
+        /// One endpoint of the offending edge.
+        u: u32,
+        /// Other endpoint of the offending edge.
+        v: u32,
+        /// Nodes actually present.
+        num_nodes: usize,
+    },
+    /// A node id at or beyond the node count was addressed directly.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u32,
+        /// Nodes actually present.
+        num_nodes: usize,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            GraphError::EndpointOutOfRange { u, v, num_nodes } => write!(
+                f,
+                "edge ({u},{v}) references missing node (have {num_nodes})"
+            ),
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range (have {num_nodes})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
 /// Incrementally assembles a [`KnowledgeGraph`].
 #[derive(Debug, Clone)]
 pub struct GraphBuilder {
@@ -57,8 +97,30 @@ impl GraphBuilder {
     }
 
     /// Set a node's type.
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range (see
+    /// [`try_set_node_type`](Self::try_set_node_type)).
     pub fn set_node_type(&mut self, node: u32, ntype: u16) {
-        self.node_types[node as usize] = ntype;
+        self.try_set_node_type(node, ntype)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible [`set_node_type`](Self::set_node_type).
+    ///
+    /// # Errors
+    /// [`GraphError::NodeOutOfRange`] when `node` does not exist.
+    pub fn try_set_node_type(&mut self, node: u32, ntype: u16) -> Result<(), GraphError> {
+        match self.node_types.get_mut(node as usize) {
+            Some(t) => {
+                *t = ntype;
+                Ok(())
+            }
+            None => Err(GraphError::NodeOutOfRange {
+                node,
+                num_nodes: self.node_types.len(),
+            }),
+        }
     }
 
     /// Add an undirected typed edge. Self-loops and parallel edges are
@@ -66,15 +128,30 @@ impl GraphBuilder {
     /// the same pair).
     ///
     /// # Panics
-    /// Panics if either endpoint is out of range.
+    /// Panics if either endpoint is out of range (see
+    /// [`try_add_edge`](Self::try_add_edge) for the fallible form).
     pub fn add_edge(&mut self, u: u32, v: u32, etype: u16) -> u32 {
-        assert!(
-            (u as usize) < self.node_types.len() && (v as usize) < self.node_types.len(),
-            "edge ({u},{v}) references missing node (have {})",
-            self.node_types.len()
-        );
+        self.try_add_edge(u, v, etype)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`add_edge`](Self::add_edge): the ingestion path for
+    /// untrusted edge lists, where a bad endpoint is data to report, not a
+    /// programming error to crash on.
+    ///
+    /// # Errors
+    /// [`GraphError::EndpointOutOfRange`] when either endpoint names a
+    /// missing node.
+    pub fn try_add_edge(&mut self, u: u32, v: u32, etype: u16) -> Result<u32, GraphError> {
+        if (u as usize) >= self.node_types.len() || (v as usize) >= self.node_types.len() {
+            return Err(GraphError::EndpointOutOfRange {
+                u,
+                v,
+                num_nodes: self.node_types.len(),
+            });
+        }
         self.edges.push(Edge { u, v, etype });
-        (self.edges.len() - 1) as u32
+        Ok((self.edges.len() - 1) as u32)
     }
 
     /// Finalize into CSR form.
@@ -126,12 +203,28 @@ pub struct KnowledgeGraph {
 
 impl KnowledgeGraph {
     /// Build directly from an edge list over `num_nodes` untyped nodes.
+    ///
+    /// # Panics
+    /// Panics if an edge references a missing node (see
+    /// [`try_from_edges`](Self::try_from_edges)).
     pub fn from_edges(num_nodes: usize, edges: &[(u32, u32)]) -> Self {
+        Self::try_from_edges(num_nodes, edges).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`from_edges`](Self::from_edges): validates every endpoint
+    /// before committing, so a malformed edge list from an external source
+    /// is reported instead of crashing the process.
+    ///
+    /// # Errors
+    /// [`GraphError::EndpointOutOfRange`] on the first out-of-range edge.
+    /// (A zero-node, zero-edge graph is valid — rejecting empty *datasets*
+    /// is the ingestion layer's job, see `amdgcnn_data::DataError`.)
+    pub fn try_from_edges(num_nodes: usize, edges: &[(u32, u32)]) -> Result<Self, GraphError> {
         let mut b = GraphBuilder::new(num_nodes);
         for &(u, v) in edges {
-            b.add_edge(u, v, 0);
+            b.try_add_edge(u, v, 0)?;
         }
-        b.build()
+        Ok(b.build())
     }
 
     /// Number of nodes.
@@ -351,6 +444,53 @@ mod tests {
     fn edge_to_missing_node_panics() {
         let mut b = GraphBuilder::new(2);
         b.add_edge(0, 2, 0);
+    }
+
+    #[test]
+    fn try_add_edge_reports_typed_error() {
+        let mut b = GraphBuilder::new(2);
+        assert_eq!(
+            b.try_add_edge(0, 2, 0),
+            Err(GraphError::EndpointOutOfRange {
+                u: 0,
+                v: 2,
+                num_nodes: 2
+            })
+        );
+        assert_eq!(b.num_edges(), 0, "rejected edge must not be recorded");
+        assert_eq!(b.try_add_edge(0, 1, 3), Ok(0));
+    }
+
+    #[test]
+    fn try_from_edges_validates_endpoints() {
+        let err = KnowledgeGraph::try_from_edges(3, &[(0, 1), (1, 7)]).expect_err("bad edge");
+        assert_eq!(
+            err,
+            GraphError::EndpointOutOfRange {
+                u: 1,
+                v: 7,
+                num_nodes: 3
+            }
+        );
+        assert!(err.to_string().contains("missing node"), "{err}");
+        let g = KnowledgeGraph::try_from_edges(3, &[(0, 1)]).expect("good edges");
+        assert_eq!(g.num_edges(), 1);
+        // Zero-node graphs stay representable (heuristics handle them).
+        assert!(KnowledgeGraph::try_from_edges(0, &[]).is_ok());
+    }
+
+    #[test]
+    fn try_set_node_type_bounds_checked() {
+        let mut b = GraphBuilder::new(1);
+        assert_eq!(
+            b.try_set_node_type(5, 1),
+            Err(GraphError::NodeOutOfRange {
+                node: 5,
+                num_nodes: 1
+            })
+        );
+        b.try_set_node_type(0, 9).expect("in range");
+        assert_eq!(b.build().node_type(0), 9);
     }
 
     #[test]

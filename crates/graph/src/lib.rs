@@ -41,5 +41,5 @@ pub mod walks;
 pub mod wl;
 
 pub use bfs::UNREACHABLE;
-pub use graph::{Edge, GraphBuilder, KnowledgeGraph};
+pub use graph::{Edge, GraphBuilder, GraphError, KnowledgeGraph};
 pub use khop::{EnclosingSubgraph, LocalEdge, NeighborhoodMode, SubgraphConfig};

@@ -23,5 +23,5 @@ pub use gat::{EdgeIndex, GatConfig, GatConv};
 pub use gcn::{GcnAdjacency, GcnConv};
 pub use linear::Linear;
 pub use mlp::Mlp;
-pub use optim::{Adam, Optimizer, Sgd};
+pub use optim::{Adam, AdamState, Optimizer, Sgd};
 pub use rgcn::{RelationalEdges, RgcnConfig, RgcnConv};

@@ -7,22 +7,32 @@
 //! [`save_params`] binary format with its own magic/version):
 //!
 //! ```text
-//! magic "AMDM" | u32 version | u32 meta_len | meta JSON | AMDG param blob
+//! magic "AMDM" | u32 version | u32 meta_len | meta JSON
+//!             | u32 header CRC-32 (v2+) | AMDG param blob
 //! ```
 //!
 //! The JSON header keeps the metadata debuggable with `head -c`; the
 //! parameter blob stays binary so checkpoints round-trip bit-exactly.
+//! Since v2 the header carries a CRC-32 and the parameter blob is the
+//! checksummed `AMDG` v2 format, so any single flipped or missing byte in
+//! an artifact is detected at load. v1 files (no checksums) still load.
+//! [`save_model_file`] writes via temp + fsync + atomic rename, so an
+//! artifact path on disk never holds a half-written file.
 
 use am_dgcnn::{DgcnnModel, FeatureConfig, ModelConfig};
 use amdgcnn_data::Dataset;
+use amdgcnn_tensor::durable::{write_atomic, CrcReader, CrcWriter, DiskFault};
 use amdgcnn_tensor::io::{load_params, restore_into, save_params};
 use amdgcnn_tensor::ParamStore;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::{self, Read, Write};
+use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"AMDM";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// Oldest version [`load_model`] still reads (pre-checksum format).
+const MIN_VERSION: u32 = 1;
 
 /// Cap on the header-declared JSON length; a real header is a few hundred
 /// bytes, so anything above this is a corrupt file, not a big model.
@@ -98,30 +108,53 @@ impl ArtifactMeta {
     }
 }
 
-/// Write a complete model artifact: metadata header + parameter checkpoint.
-pub fn save_model<W: Write>(meta: &ArtifactMeta, ps: &ParamStore, mut w: W) -> io::Result<()> {
+/// Write a complete model artifact: metadata header (with CRC-32) +
+/// checksummed parameter checkpoint.
+pub fn save_model<W: Write>(meta: &ArtifactMeta, ps: &ParamStore, w: W) -> io::Result<()> {
     let meta_json = serde_json::to_vec(meta)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    let mut w = CrcWriter::new(w);
     w.write_all(MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
     w.write_all(&(meta_json.len() as u32).to_le_bytes())?;
     w.write_all(&meta_json)?;
-    save_params(ps, w)
+    let header_crc = w.total_crc();
+    w.write_unchecked(&header_crc.to_le_bytes())?;
+    save_params(ps, w.into_inner())
 }
 
-/// Read back an artifact written by [`save_model`].
+/// The old unchecksummed v1 writer, kept only so tests can prove v1 files
+/// still load.
+#[doc(hidden)]
+pub fn save_model_v1_for_tests<W: Write>(
+    meta: &ArtifactMeta,
+    ps: &ParamStore,
+    mut w: W,
+) -> io::Result<()> {
+    let meta_json = serde_json::to_vec(meta)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    w.write_all(MAGIC)?;
+    w.write_all(&1u32.to_le_bytes())?;
+    w.write_all(&(meta_json.len() as u32).to_le_bytes())?;
+    w.write_all(&meta_json)?;
+    amdgcnn_tensor::io::save_params_v1_for_tests(ps, w)
+}
+
+/// Read back an artifact written by [`save_model`] (v2, checksummed) or by
+/// the pre-checksum v1 writer.
 ///
 /// All header fields are untrusted: bad magic, unknown versions, oversized
-/// or truncated headers, and malformed JSON all fail with
-/// [`io::ErrorKind::InvalidData`].
-pub fn load_model<R: Read>(mut r: R) -> io::Result<(ArtifactMeta, ParamStore)> {
+/// or truncated headers, malformed JSON, and (v2) checksum mismatches all
+/// fail with [`io::ErrorKind::InvalidData`].
+pub fn load_model<R: Read>(r: R) -> io::Result<(ArtifactMeta, ParamStore)> {
+    let mut r = CrcReader::new(r);
     let mut magic = [0u8; 4];
     read_exact_invalid(&mut r, &mut magic, "artifact magic")?;
     if &magic != MAGIC {
         return Err(invalid("bad artifact magic"));
     }
     let version = read_u32(&mut r, "artifact version")?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(invalid(format!("unsupported artifact version {version}")));
     }
     let meta_len = read_u32(&mut r, "metadata length")? as usize;
@@ -130,10 +163,47 @@ pub fn load_model<R: Read>(mut r: R) -> io::Result<(ArtifactMeta, ParamStore)> {
     }
     let mut meta_json = vec![0u8; meta_len];
     read_exact_invalid(&mut r, &mut meta_json, "metadata")?;
+    if version >= 2 {
+        let expect = r.total_crc();
+        let mut stored = [0u8; 4];
+        r.read_exact_unchecked(&mut stored).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                invalid("artifact truncated while reading header checksum")
+            } else {
+                e
+            }
+        })?;
+        if u32::from_le_bytes(stored) != expect {
+            return Err(invalid("artifact header checksum mismatch"));
+        }
+    }
     let meta: ArtifactMeta = serde_json::from_slice(&meta_json)
         .map_err(|e| invalid(format!("bad artifact metadata: {e}")))?;
-    let ps = load_params(r)?;
+    let ps = load_params(&mut r)?;
     Ok((meta, ps))
+}
+
+/// Durably write an artifact to `path`: serialize, write to a temp file,
+/// fsync, and atomically rename into place, so the path never holds a
+/// half-written artifact even across a crash.
+///
+/// `fault` deterministically injects a durability failure for testing;
+/// pass `None` in production.
+pub fn save_model_file(
+    path: &Path,
+    meta: &ArtifactMeta,
+    ps: &ParamStore,
+    fault: Option<DiskFault>,
+) -> io::Result<()> {
+    let mut buf = Vec::new();
+    save_model(meta, ps, &mut buf)?;
+    write_atomic(path, &buf, fault)
+}
+
+/// Load an artifact from `path` (counterpart of [`save_model_file`]).
+pub fn load_model_file(path: &Path) -> io::Result<(ArtifactMeta, ParamStore)> {
+    let f = std::fs::File::open(path)?;
+    load_model(io::BufReader::new(f))
 }
 
 /// Reconstruct a runnable model from a loaded artifact: build the
@@ -239,6 +309,52 @@ mod tests {
             let err = load_model(&buf[..cut]).expect_err("truncated must fail");
             assert_eq!(err.kind(), io::ErrorKind::InvalidData, "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let mut buf = Vec::new();
+        save_model(&sample_meta(), &sample_store(), &mut buf).expect("save");
+        for pos in 0..buf.len() {
+            let mut corrupt = buf.clone();
+            corrupt[pos] ^= 0x08;
+            assert!(
+                load_model(corrupt.as_slice()).is_err(),
+                "flip at byte {pos} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn v1_artifacts_without_checksums_still_load() {
+        let meta = sample_meta();
+        let ps = sample_store();
+        let mut buf = Vec::new();
+        save_model_v1_for_tests(&meta, &ps, &mut buf).expect("save v1");
+        let (meta2, ps2) = load_model(buf.as_slice()).expect("v1 must load");
+        assert_eq!(meta, meta2);
+        for (id, value) in ps.iter() {
+            assert_eq!(value.data(), ps2.get(id).data());
+        }
+    }
+
+    #[test]
+    fn file_save_is_atomic_and_loads_back() {
+        let path =
+            std::env::temp_dir().join(format!("amdgcnn-artifact-{}.amdm", std::process::id()));
+        let meta = sample_meta();
+        let ps = sample_store();
+        save_model_file(&path, &meta, &ps, None).expect("save file");
+        let (meta2, ps2) = load_model_file(&path).expect("load file");
+        assert_eq!(meta, meta2);
+        assert_eq!(
+            amdgcnn_tensor::io::params_digest(&ps),
+            amdgcnn_tensor::io::params_digest(&ps2)
+        );
+        // No stale temp file remains next to the artifact.
+        let tmp = amdgcnn_tensor::durable::tmp_path(&path);
+        assert!(!tmp.exists(), "temp file must be renamed away");
+        std::fs::remove_file(&path).expect("cleanup");
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //! 3. [`server`] — a [`BatchServer`] micro-batching front-end: queries
 //!    accumulate up to `max_batch`/`max_wait`, execute as one batch, and
 //!    throughput/latency counters are exported via [`ServerStats`].
+//! 4. [`store`] — a [`ModelStore`] holding the live engine behind a
+//!    versioned slot with **validated hot-swap**: a replacement artifact
+//!    must pass checksum, finiteness, and dataset-binding checks before it
+//!    becomes visible, so a corrupt file can never displace a good model.
 //!
 //! The server layer is fault-tolerant: admission is gated by a bounded
 //! queue and a circuit breaker ([`RobustnessConfig`]), queued queries can
@@ -63,9 +67,14 @@ pub mod engine;
 pub mod error;
 pub mod server;
 pub mod stats;
+pub mod store;
 
-pub use artifact::{instantiate, load_model, save_model, ArtifactMeta, FeatureMeta};
+pub use artifact::{
+    instantiate, load_model, load_model_file, save_model, save_model_file, ArtifactMeta,
+    FeatureMeta,
+};
 pub use engine::{ClassProbs, InferenceEngine, LinkQuery};
 pub use error::Error;
 pub use server::{BatchConfig, BatchServer, PendingQuery, RobustnessConfig};
 pub use stats::ServerStats;
+pub use store::ModelStore;

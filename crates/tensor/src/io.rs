@@ -2,18 +2,31 @@
 //! self-describing binary format (no external serialization dependency —
 //! little-endian, versioned, name-checked on load).
 //!
-//! Format:
+//! Format (version 2):
 //! ```text
 //! magic "AMDG" | u32 version | u32 param count |
 //!   per param: u32 name len | name bytes | u32 rows | u32 cols | f32 data...
+//!              | u32 section CRC-32
+//! | u32 footer CRC-32
 //! ```
+//!
+//! Each parameter record carries a CRC-32 over its own bytes, and the file
+//! ends with a CRC-32 over every header and record byte, so a torn write or
+//! a flipped bit anywhere in the file is detected at load time instead of
+//! silently corrupting a model. Version 1 files (no checksums) remain
+//! loadable.
 
+use crate::durable::{crc32, CrcReader, CrcWriter, DiskFault};
 use crate::matrix::Matrix;
 use crate::param::ParamStore;
 use std::io::{self, Read, Write};
+use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"AMDG";
-const VERSION: u32 = 1;
+/// Current write-side format version (checksummed records + footer).
+const VERSION: u32 = 2;
+/// Oldest version [`load_params`] still reads (pre-checksum format).
+const MIN_VERSION: u32 = 1;
 
 /// Hard ceilings on header-declared sizes. A checkpoint we write ourselves
 /// stays far below all of them; anything above is a corrupt or hostile file
@@ -28,12 +41,14 @@ const MAX_ELEMS: usize = 1 << 28;
 const READ_CHUNK_ELEMS: usize = 16 * 1024;
 
 /// Serialize every parameter (ids are positional, names included for
-/// verification).
-pub fn save_params<W: Write>(ps: &ParamStore, mut w: W) -> io::Result<()> {
+/// verification), with per-record and whole-file CRC-32 checksums.
+pub fn save_params<W: Write>(ps: &ParamStore, w: W) -> io::Result<()> {
+    let mut w = CrcWriter::new(w);
     w.write_all(MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
     w.write_all(&(ps.len() as u32).to_le_bytes())?;
     for (id, value) in ps.iter() {
+        w.reset_section();
         let name = ps.name(id).as_bytes();
         w.write_all(&(name.len() as u32).to_le_bytes())?;
         w.write_all(name)?;
@@ -42,8 +57,26 @@ pub fn save_params<W: Write>(ps: &ParamStore, mut w: W) -> io::Result<()> {
         for &v in value.data() {
             w.write_all(&v.to_le_bytes())?;
         }
+        let section = w.section_crc();
+        w.write_unchecked(&section.to_le_bytes())?;
     }
+    let footer = w.total_crc();
+    w.write_unchecked(&footer.to_le_bytes())?;
     Ok(())
+}
+
+/// Serialize a [`ParamStore`] to `path` crash-safely (write-to-temp +
+/// fsync + atomic rename). `fault` is the deterministic durability fault
+/// to inject, for testing recovery paths; pass `None` in production.
+pub fn save_params_file(path: &Path, ps: &ParamStore, fault: Option<DiskFault>) -> io::Result<()> {
+    let mut buf = Vec::new();
+    save_params(ps, &mut buf)?;
+    crate::durable::write_atomic(path, &buf, fault)
+}
+
+/// Load a [`ParamStore`] from `path`, verifying checksums.
+pub fn load_params_file(path: &Path) -> io::Result<ParamStore> {
+    load_params(io::BufReader::new(std::fs::File::open(path)?))
 }
 
 /// Deserialize into a fresh [`ParamStore`]. Ids are assigned in file order,
@@ -53,23 +86,29 @@ pub fn save_params<W: Write>(ps: &ParamStore, mut w: W) -> io::Result<()> {
 /// Every header field is treated as untrusted: counts and shapes are capped,
 /// data is read in bounded chunks, and a stream that ends before the header's
 /// promise is kept fails with [`io::ErrorKind::InvalidData`] — never a bare
-/// `UnexpectedEof` and never an allocation sized by the corrupt header.
-pub fn load_params<R: Read>(mut r: R) -> io::Result<ParamStore> {
+/// `UnexpectedEof` and never an allocation sized by the corrupt header. For
+/// version-2 files every record checksum and the footer checksum are
+/// verified, so any single corrupted byte in the payload is rejected;
+/// version-1 files load without checksum verification.
+pub fn load_params<R: Read>(r: R) -> io::Result<ParamStore> {
+    let mut r = CrcReader::new(r);
     let mut magic = [0u8; 4];
     read_exact_checked(&mut r, &mut magic, "magic")?;
     if &magic != MAGIC {
         return Err(invalid("bad magic"));
     }
     let version = read_u32(&mut r, "version")?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(invalid(format!("unsupported checkpoint version {version}")));
     }
+    let checksummed = version >= 2;
     let count = read_u32(&mut r, "parameter count")? as usize;
     if count > MAX_PARAMS {
         return Err(invalid(format!("implausible parameter count {count}")));
     }
     let mut ps = ParamStore::new();
     for idx in 0..count {
+        r.reset_section();
         let name_len = read_u32(&mut r, "name length")? as usize;
         if name_len > MAX_NAME_LEN {
             return Err(invalid(format!(
@@ -100,7 +139,26 @@ pub fn load_params<R: Read>(mut r: R) -> io::Result<ParamStore> {
             );
             remaining -= n;
         }
+        if checksummed {
+            let expect = r.section_crc();
+            let stored = read_crc(&mut r, "record checksum")?;
+            if stored != expect {
+                return Err(invalid(format!(
+                    "checksum mismatch in parameter {name}: stored {stored:#010x}, \
+                     computed {expect:#010x}"
+                )));
+            }
+        }
         ps.register(name, Matrix::from_vec(rows, cols, data));
+    }
+    if checksummed {
+        let expect = r.total_crc();
+        let stored = read_crc(&mut r, "footer checksum")?;
+        if stored != expect {
+            return Err(invalid(format!(
+                "footer checksum mismatch: stored {stored:#010x}, computed {expect:#010x}"
+            )));
+        }
     }
     Ok(ps)
 }
@@ -162,6 +220,48 @@ fn read_u32<R: Read>(r: &mut R, what: &str) -> io::Result<u32> {
     let mut buf = [0u8; 4];
     read_exact_checked(r, &mut buf, what)?;
     Ok(u32::from_le_bytes(buf))
+}
+
+/// Read a stored CRC value without folding it into the running checksums.
+fn read_crc<R: Read>(r: &mut CrcReader<R>, what: &str) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact_unchecked(&mut buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            invalid(format!("checkpoint truncated while reading {what}"))
+        } else {
+            e
+        }
+    })?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Serialize a store exactly as format version 1 did (no checksums).
+/// Only used by tests to prove backward compatibility; real writes always
+/// use the current version.
+#[doc(hidden)]
+pub fn save_params_v1_for_tests<W: Write>(ps: &ParamStore, mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&1u32.to_le_bytes())?;
+    w.write_all(&(ps.len() as u32).to_le_bytes())?;
+    for (id, value) in ps.iter() {
+        let name = ps.name(id).as_bytes();
+        w.write_all(&(name.len() as u32).to_le_bytes())?;
+        w.write_all(name)?;
+        w.write_all(&(value.rows() as u32).to_le_bytes())?;
+        w.write_all(&(value.cols() as u32).to_le_bytes())?;
+        for &v in value.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// CRC-32 of a serialized store — the cheap way for callers to compare two
+/// checkpoints for bit-identity.
+pub fn params_digest(ps: &ParamStore) -> u32 {
+    let mut buf = Vec::new();
+    save_params(ps, &mut buf).expect("in-memory save cannot fail");
+    crc32(&buf)
 }
 
 #[cfg(test)]
@@ -236,6 +336,32 @@ mod tests {
     }
 
     #[test]
+    fn every_single_byte_flip_is_detected() {
+        let ps = sample_store();
+        let mut buf = Vec::new();
+        save_params(&ps, &mut buf).expect("save");
+        for pos in 0..buf.len() {
+            let mut corrupt = buf.clone();
+            corrupt[pos] ^= 0x10;
+            let err = load_params(corrupt.as_slice())
+                .expect_err("a flipped byte must never load cleanly");
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "flip at {pos}");
+        }
+    }
+
+    #[test]
+    fn v1_files_without_checksums_still_load() {
+        let ps = sample_store();
+        let mut v1 = Vec::new();
+        save_params_v1_for_tests(&ps, &mut v1).expect("save v1");
+        let loaded = load_params(v1.as_slice()).expect("v1 load");
+        assert_eq!(loaded.len(), ps.len());
+        for (id, value) in ps.iter() {
+            assert_eq!(**loaded.get(id), **value);
+        }
+    }
+
+    #[test]
     fn lying_count_header_rejected_without_huge_alloc() {
         let mut buf = Vec::new();
         buf.extend_from_slice(MAGIC);
@@ -299,5 +425,31 @@ mod tests {
         wrong.register("other.weight", Matrix::zeros(3, 4));
         wrong.register("layer.bias", Matrix::zeros(1, 4));
         assert!(restore_into(&mut wrong, &loaded).is_err());
+    }
+
+    #[test]
+    fn digest_distinguishes_stores() {
+        let a = sample_store();
+        let mut b = sample_store();
+        assert_eq!(params_digest(&a), params_digest(&b));
+        b.update(crate::param::ParamId(0), |m| m.set(0, 0, 99.0));
+        assert_ne!(params_digest(&a), params_digest(&b));
+    }
+
+    #[test]
+    fn file_roundtrip_is_atomic_and_checksummed() {
+        let dir = std::env::temp_dir().join(format!("amdgcnn-io-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("dir");
+        let path = dir.join("params.ckpt");
+        let ps = sample_store();
+        save_params_file(&path, &ps, None).expect("save");
+        let loaded = load_params_file(&path).expect("load");
+        assert_eq!(params_digest(&loaded), params_digest(&ps));
+
+        // A torn write is detected at load, not silently accepted.
+        save_params_file(&path, &ps, Some(DiskFault::TornWrite)).expect("write");
+        let err = load_params_file(&path).expect_err("torn file must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod autograd;
+pub mod durable;
 pub mod init;
 pub mod io;
 pub mod linalg;
@@ -50,6 +51,7 @@ pub mod param;
 pub mod sparse;
 
 pub use autograd::{Conv1dSpec, Tape, Var};
+pub use durable::{crc32, write_atomic, DiskFault};
 pub use matrix::Matrix;
 pub use param::{GradStore, ParamId, ParamStore};
 pub use sparse::CsrMatrix;

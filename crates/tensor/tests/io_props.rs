@@ -67,6 +67,23 @@ proptest! {
     }
 
     #[test]
+    fn any_single_byte_flip_is_invalid_data(
+        ps in arb_store(),
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut buf = Vec::new();
+        save_params(&ps, &mut buf).expect("save");
+        let pos = (((buf.len() - 1) as f64) * pos_frac) as usize;
+        buf[pos] ^= 1 << bit;
+        // Since v2 every byte is covered by a section or footer CRC, so
+        // corruption anywhere — names, shapes, values, checksums — must be
+        // detected rather than silently loaded.
+        let err = load_params(buf.as_slice()).expect_err("corrupt must fail");
+        prop_assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
     fn restore_into_rejects_renamed_params(ps in arb_store()) {
         let mut buf = Vec::new();
         save_params(&ps, &mut buf).expect("save");
