@@ -8,10 +8,12 @@
 #![warn(missing_docs)]
 
 pub mod configs;
+pub mod obs_report;
 pub mod runner;
 
 pub use configs::{default_hyper, tuned_hyper, Bench};
+pub use obs_report::{obs_smoke_report, write_timing_report, TENTPOLE_SPANS};
 pub use runner::{
-    am_dgcnn_for, compare_models, epoch_sweep, load_dataset, sample_sweep, ComparisonRow,
-    SweepPoint, EPOCH_GRID,
+    am_dgcnn_for, compare_models, epoch_sweep, epoch_sweep_obs, load_dataset, sample_sweep,
+    sample_sweep_obs, ComparisonRow, SweepPoint, EPOCH_GRID,
 };

@@ -1,0 +1,154 @@
+//! End-to-end observability smoke run and timing-report plumbing.
+//!
+//! [`obs_smoke_report`] drives the full lifecycle — sample preparation,
+//! training with durable checkpointing, resume-restore, evaluation, and
+//! batched serving through the artifact format — with one shared [`Obs`]
+//! registry, and returns the merged per-stage [`Report`]. The `obs_report`
+//! binary and the CI observability step use it to prove that every
+//! instrumented stage of the pipeline shows up as a named span in a single
+//! `amdgcnn-bench` run.
+
+use am_dgcnn::{Experiment, FeatureConfig, GnnKind, Hyperparams};
+use amdgcnn_data::{wn18_like, Wn18Config};
+use amdgcnn_obs::{Obs, Report};
+use amdgcnn_serve::{
+    save_model, ArtifactMeta, BatchConfig, BatchServer, InferenceEngine, LinkQuery,
+};
+use std::io::Write;
+use std::path::Path;
+use std::time::Duration;
+
+/// Every span the instrumented pipeline is expected to produce in one
+/// end-to-end run — the tentpole stages of DESIGN.md §12. The acceptance
+/// test and the `obs_report` binary both check the report against this
+/// list, so a renamed or dropped span fails loudly.
+pub const TENTPOLE_SPANS: [&str; 14] = [
+    "pipeline/sample",
+    "pipeline/sample/khop",
+    "pipeline/sample/drnl",
+    "pipeline/sample/tensorize",
+    "train/epoch",
+    "train/forward",
+    "train/backward",
+    "train/optimizer_step",
+    "pipeline/checkpoint/save",
+    "pipeline/checkpoint/restore",
+    "pipeline/evaluate",
+    "serve/queue_wait",
+    "serve/batch_assembly",
+    "serve/engine",
+];
+
+/// Training epochs for the smoke run (small: timing coverage, not
+/// accuracy, is under test).
+const SMOKE_EPOCHS: usize = 2;
+/// Training-split subset used by the smoke run.
+const SMOKE_TRAIN_SUBSET: usize = 48;
+/// Queries replayed through the batch server.
+const SMOKE_QUERIES: usize = 32;
+
+/// Run the full pipeline lifecycle on a tiny WN18-like graph with a single
+/// shared observability registry and return its report. `scratch` is used
+/// for the checkpoint directory (created if needed, left behind for the
+/// caller to clean up).
+///
+/// Stages exercised, in order: sample preparation (k-hop, DRNL,
+/// tensorization), training with a checkpoint save every epoch, evaluation,
+/// a second session resumed from the newest checkpoint generation
+/// (restore), and batched serving of the resumed model through the
+/// versioned artifact format.
+pub fn obs_smoke_report(scratch: &Path) -> Report {
+    let obs = Obs::enabled();
+    let ds = wn18_like(&Wn18Config::tiny());
+    let hyper = Hyperparams {
+        lr: 5e-3,
+        hidden_dim: 8,
+        sort_k: 10,
+    };
+    let ckpt = scratch.join("checkpoints");
+
+    // Train with checkpointing each epoch: covers pipeline/sample*,
+    // train/*, pipeline/checkpoint/save, and pipeline/evaluate.
+    let exp = Experiment::builder()
+        .gnn(GnnKind::am_dgcnn())
+        .hyper(hyper)
+        .seed(17)
+        .checkpoint_to(&ckpt, 1)
+        .observe(obs.clone())
+        .build();
+    let session = exp
+        .session(&ds, Some(SMOKE_TRAIN_SUBSET.min(ds.train.len())))
+        .expect("smoke session");
+    exp.run_session(session, &[SMOKE_EPOCHS])
+        .expect("smoke training run");
+
+    // Resume from the newest generation: covers
+    // pipeline/checkpoint/restore.
+    let resumed = Experiment::builder()
+        .gnn(GnnKind::am_dgcnn())
+        .hyper(hyper)
+        .seed(17)
+        .resume_from(&ckpt)
+        .observe(obs.clone())
+        .build();
+    let session = resumed
+        .session(&ds, Some(SMOKE_TRAIN_SUBSET.min(ds.train.len())))
+        .expect("resumed session");
+
+    // Serve the resumed model through the artifact path with the same
+    // registry: covers serve/queue_wait, serve/batch_assembly,
+    // serve/engine, and the serve/* counters.
+    let fcfg = FeatureConfig::for_graph(ds.graph.num_node_types());
+    let meta = ArtifactMeta::describe(&ds, &session.model.cfg, &fcfg, SMOKE_EPOCHS)
+        .expect("artifact meta");
+    let mut artifact = Vec::new();
+    save_model(&meta, &session.ps, &mut artifact).expect("save artifact");
+    let engine = InferenceEngine::load(artifact.as_slice(), ds.clone(), 64)
+        .expect("load engine")
+        .with_obs(obs.clone());
+    let server = BatchServer::start(
+        engine,
+        BatchConfig {
+            max_batch: 8,
+            max_wait: Duration::from_millis(1),
+        },
+    );
+    let queries: Vec<LinkQuery> = ds
+        .test
+        .iter()
+        .cycle()
+        .take(SMOKE_QUERIES)
+        .map(|l| (l.u, l.v))
+        .collect();
+    server.submit_all(&queries).expect("serve answers");
+    server.shutdown();
+
+    obs.report()
+}
+
+/// Write a report as a JSON file (the CI timing artifact), creating parent
+/// directories as needed.
+///
+/// # Errors
+/// Propagates filesystem errors from directory creation and the write.
+pub fn write_timing_report(path: &Path, report: &Report) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(report.to_json().as_bytes())?;
+    f.write_all(b"\n")
+}
+
+/// The timing-report output path requested via the `AMDGCNN_TIMING_OUT`
+/// environment variable, if set and non-empty. Figure binaries and the
+/// `obs_report` binary consult this so CI can collect per-stage timing
+/// JSON without extra flags.
+pub fn timing_out_from_env() -> Option<std::path::PathBuf> {
+    match std::env::var("AMDGCNN_TIMING_OUT") {
+        Ok(p) if !p.is_empty() => Some(std::path::PathBuf::from(p)),
+        _ => None,
+    }
+}

@@ -8,6 +8,7 @@ use amdgcnn_data::{
     biokg_like, cora_like, primekg_like, wn18_like, BioKgConfig, CoraConfig, Dataset,
     PrimeKgConfig, Wn18Config,
 };
+use amdgcnn_obs::Obs;
 use serde::Serialize;
 
 /// Materialize a benchmark dataset at its default (paper-scaled) size.
@@ -90,10 +91,24 @@ pub fn epoch_sweep(
     checkpoints: &[usize],
     seed: u64,
 ) -> Vec<SweepPoint> {
+    epoch_sweep_obs(ds, hyper, checkpoints, seed, &Obs::disabled())
+}
+
+/// [`epoch_sweep`] with per-stage timing recorded into `obs` (sample
+/// preparation, training phases, evaluation). Observation never feeds back
+/// into the computation, so the sweep points are identical either way.
+pub fn epoch_sweep_obs(
+    ds: &Dataset,
+    hyper: Hyperparams,
+    checkpoints: &[usize],
+    seed: u64,
+    obs: &Obs,
+) -> Vec<SweepPoint> {
     let am_exp = Experiment::builder()
         .gnn(am_dgcnn_for(ds))
         .hyper(hyper)
         .seed(seed)
+        .observe(obs.clone())
         .build();
     let am = am_exp
         .run_session(am_exp.session(ds, None).expect("session"), checkpoints)
@@ -102,6 +117,7 @@ pub fn epoch_sweep(
         .gnn(GnnKind::Gcn)
         .hyper(hyper)
         .seed(seed)
+        .observe(obs.clone())
         .build();
     let va = va_exp
         .run_session(va_exp.session(ds, None).expect("session"), checkpoints)
@@ -126,6 +142,19 @@ pub fn sample_sweep(
     epochs: usize,
     seed: u64,
 ) -> Vec<SweepPoint> {
+    sample_sweep_obs(ds, hyper, subset_sizes, epochs, seed, &Obs::disabled())
+}
+
+/// [`sample_sweep`] with per-stage timing recorded into `obs`. The sweep
+/// points are identical with or without observation.
+pub fn sample_sweep_obs(
+    ds: &Dataset,
+    hyper: Hyperparams,
+    subset_sizes: &[usize],
+    epochs: usize,
+    seed: u64,
+    obs: &Obs,
+) -> Vec<SweepPoint> {
     subset_sizes
         .iter()
         .map(|&n| {
@@ -133,6 +162,7 @@ pub fn sample_sweep(
                 .gnn(am_dgcnn_for(ds))
                 .hyper(hyper)
                 .seed(seed)
+                .observe(obs.clone())
                 .build();
             let am = am_exp
                 .run_session(am_exp.session(ds, Some(n)).expect("session"), &[epochs])
@@ -143,6 +173,7 @@ pub fn sample_sweep(
                 .gnn(GnnKind::Gcn)
                 .hyper(hyper)
                 .seed(seed)
+                .observe(obs.clone())
                 .build();
             let va = va_exp
                 .run_session(va_exp.session(ds, Some(n)).expect("session"), &[epochs])
@@ -209,10 +240,29 @@ pub fn emit_json<T: Serialize>(label: &str, value: &T) {
     );
 }
 
+/// Print and emit a figure run's per-stage timing: a span table on stdout,
+/// a `JSON <figure>_timing {...}` line, and — when `AMDGCNN_TIMING_OUT`
+/// names a path — the report JSON written there (the CI artifact).
+fn emit_timing(figure: &str, obs: &Obs) {
+    let report = obs.report();
+    println!("{figure} per-stage timing\n{}", report.format_spans());
+    emit_json(&format!("{figure}_timing"), &report);
+    if let Some(path) = crate::obs_report::timing_out_from_env() {
+        if let Err(e) = crate::obs_report::write_timing_report(&path, &report) {
+            eprintln!(
+                "warning: could not write timing report to {}: {e}",
+                path.display()
+            );
+        }
+    }
+}
+
 /// Drive a full epoch figure (Figs. 4–6): panels (a) default and (b)
 /// per-dataset tuned hyperparameters, both models, the standard epoch grid.
+/// Per-stage timing across both panels is printed and emitted at the end.
 pub fn run_epoch_figure(bench: Bench, figure: &str, fast: bool) {
     let ds = load_dataset(bench);
+    let obs = Obs::enabled();
     let grid: &[usize] = if fast { &[2, 4] } else { &EPOCH_GRID };
     for (panel, hyper) in [
         (
@@ -224,7 +274,7 @@ pub fn run_epoch_figure(bench: Bench, figure: &str, fast: bool) {
             crate::configs::tuned_hyper(bench),
         ),
     ] {
-        let pts = epoch_sweep(&ds, hyper, grid, 0xf16);
+        let pts = epoch_sweep_obs(&ds, hyper, grid, 0xf16, &obs);
         println!(
             "{}",
             format_sweep(&format!("{figure} {panel} — {}", ds.name), "epochs", &pts)
@@ -241,12 +291,15 @@ pub fn run_epoch_figure(bench: Bench, figure: &str, fast: bool) {
             &pts,
         );
     }
+    emit_timing(figure, &obs);
 }
 
 /// Drive a full training-sample figure (Figs. 7–9): panels (a) default and
 /// (b) tuned, both models, sixth-fraction subsets, 10 training epochs.
+/// Per-stage timing across both panels is printed and emitted at the end.
 pub fn run_sample_figure(bench: Bench, figure: &str, fast: bool) {
     let ds = load_dataset(bench);
+    let obs = Obs::enabled();
     let epochs = if fast { 3 } else { 10 };
     let subsets = if fast {
         vec![ds.train.len() / 2, ds.train.len()]
@@ -263,7 +316,7 @@ pub fn run_sample_figure(bench: Bench, figure: &str, fast: bool) {
             crate::configs::tuned_hyper(bench),
         ),
     ] {
-        let pts = sample_sweep(&ds, hyper, &subsets, epochs, 0xf79);
+        let pts = sample_sweep_obs(&ds, hyper, &subsets, epochs, 0xf79, &obs);
         println!(
             "{}",
             format_sweep(&format!("{figure} {panel} — {}", ds.name), "samples", &pts)
@@ -280,6 +333,7 @@ pub fn run_sample_figure(bench: Bench, figure: &str, fast: bool) {
             &pts,
         );
     }
+    emit_timing(figure, &obs);
 }
 
 #[cfg(test)]

@@ -38,9 +38,14 @@ pub use pipeline::{
     evaluate_model, CheckpointPolicy, EvalMetrics, Experiment, ExperimentBuilder, Hyperparams,
     Session,
 };
-pub use sample::{prepare_batch, prepare_sample, PreparedSample};
+pub use sample::{
+    prepare_batch, prepare_batch_obs, prepare_sample, prepare_sample_obs, PreparedSample,
+    SampleTimers,
+};
 pub use schedule::{EarlyStopping, LrSchedule};
 pub use train::{
     predict_probs, DivergenceCause, LinkModel, RecoveryEvent, TrainConfig, Trainer, WatchdogConfig,
 };
 pub use wlnm::{WlnmConfig, WlnmModel};
+
+pub use amdgcnn_obs as obs;

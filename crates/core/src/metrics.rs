@@ -280,6 +280,62 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "roc_auc: length mismatch")]
+    fn roc_auc_length_mismatch_panics() {
+        let _ = roc_auc(&[0.1, 0.2, 0.3], &[true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "auc: row/label mismatch")]
+    fn one_vs_rest_row_label_mismatch_panics() {
+        let probs = Matrix::from_vec(2, 2, vec![0.9, 0.1, 0.2, 0.8]);
+        let _ = auc_one_vs_rest(&probs, &[0usize, 1, 0], 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn confusion_matrix_length_mismatch_panics() {
+        let _ = confusion_matrix(&[0usize, 1], &[0usize], 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn average_precision_length_mismatch_panics() {
+        // The macro-averaged precision path goes through the confusion
+        // matrix, which rejects mismatched inputs.
+        let _ = average_precision(&[0usize, 1, 0], &[0usize, 1], 2);
+    }
+
+    #[test]
+    fn all_tied_scores_give_half_everywhere() {
+        // Every score identical: no ranking information, AUC is exactly
+        // 0.5 through the single-class, one-vs-rest, and macro paths.
+        let probs = Matrix::from_vec(4, 2, vec![0.5; 8]);
+        let labels = [0usize, 1, 0, 1];
+        assert_eq!(auc_one_vs_rest(&probs, &labels, 0), 0.5);
+        assert_eq!(auc_one_vs_rest(&probs, &labels, 1), 0.5);
+        assert_eq!(macro_auc(&probs, &labels), 0.5);
+    }
+
+    #[test]
+    fn single_class_input_returns_half() {
+        // Only one class present: one-vs-rest has no negatives, so every
+        // per-class AUC degenerates to 0.5 and so does the macro average.
+        let probs = Matrix::from_vec(3, 2, vec![0.9, 0.1, 0.8, 0.2, 0.7, 0.3]);
+        let labels = [0usize, 0, 0];
+        assert_eq!(auc_one_vs_rest(&probs, &labels, 0), 0.5);
+        assert_eq!(macro_auc(&probs, &labels), 0.5);
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        let probs = Matrix::zeros(0, 2);
+        assert_eq!(macro_auc(&probs, &[]), 0.5);
+        assert_eq!(average_precision(&[], &[], 2), 0.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
     fn roc_curve_endpoints_and_monotonicity() {
         let scores = [0.9, 0.7, 0.6, 0.3, 0.2];
         let pos = [true, false, true, false, true];

@@ -8,10 +8,11 @@ use crate::fault::FaultInjector;
 use crate::features::FeatureConfig;
 use crate::metrics::{accuracy, argmax_predictions, average_precision, macro_auc};
 use crate::model::{DgcnnModel, GnnKind, ModelConfig};
-use crate::sample::{prepare_batch, PreparedSample};
+use crate::sample::{prepare_batch_obs, PreparedSample};
 use crate::schedule::LrSchedule;
 use crate::train::{labels_of, predict_probs, TrainConfig, Trainer};
 use amdgcnn_data::Dataset;
+use amdgcnn_obs::Obs;
 use amdgcnn_tensor::ParamStore;
 use rand::{rngs::StdRng, SeedableRng};
 use serde::Serialize;
@@ -83,6 +84,9 @@ pub struct Experiment {
     pub resume: bool,
     /// Deterministic fault injector attached to sessions (testing hook).
     pub injector: Option<Arc<FaultInjector>>,
+    /// Observability registry threaded into sessions (disabled by
+    /// default — spans, counters, and events are then no-ops).
+    pub obs: Obs,
 }
 
 /// Fluent construction of an [`Experiment`] — the supported way to deviate
@@ -110,6 +114,7 @@ pub struct ExperimentBuilder {
     checkpoint: Option<CheckpointPolicy>,
     resume: bool,
     injector: Option<Arc<FaultInjector>>,
+    obs: Obs,
 }
 
 impl Default for ExperimentBuilder {
@@ -126,6 +131,7 @@ impl Default for ExperimentBuilder {
             checkpoint: None,
             resume: false,
             injector: None,
+            obs: Obs::disabled(),
         }
     }
 }
@@ -225,6 +231,15 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Record per-stage spans (sample preparation, k-hop, DRNL,
+    /// tensorization, train forward/backward/optimizer, checkpoint I/O,
+    /// evaluation) into `obs`. Observation never feeds back into the
+    /// computation, so results are bit-identical with or without it.
+    pub fn observe(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> Experiment {
         Experiment {
@@ -235,6 +250,7 @@ impl ExperimentBuilder {
             checkpoint: self.checkpoint,
             resume: self.resume,
             injector: self.injector,
+            obs: self.obs,
         }
     }
 }
@@ -302,9 +318,12 @@ impl Experiment {
         let mut session = Session {
             model,
             ps,
-            train_samples: prepare_batch(ds, train_links, &fcfg),
-            test_samples: prepare_batch(ds, &ds.test, &fcfg),
-            trainer: Trainer::new(self.train).with_schedule(self.schedule),
+            train_samples: prepare_batch_obs(ds, train_links, &fcfg, &self.obs),
+            test_samples: prepare_batch_obs(ds, &ds.test, &fcfg, &self.obs),
+            trainer: Trainer::new(self.train)
+                .with_schedule(self.schedule)
+                .with_obs(self.obs.clone()),
+            obs: self.obs.clone(),
         };
         if let Some(inj) = &self.injector {
             session.trainer.attach_fault_injector(inj.clone());
@@ -316,10 +335,16 @@ impl Experiment {
                 .ok_or_else(|| Error::CheckpointIo {
                     detail: "resume requested without a checkpoint directory".into(),
                 })?;
+            let restore_span = self.obs.span("pipeline/checkpoint/restore");
             let dir = CheckpointDir::create(&policy.dir)?;
-            if let Some((_, state)) = dir.latest()? {
+            if let Some((generation, state)) = dir.latest()? {
                 session.trainer.restore(&state, &mut session.ps)?;
+                let epochs = state.epochs_done;
+                self.obs.event("pipeline/checkpoint/restore", || {
+                    format!("resumed generation {generation} at epoch {epochs}")
+                });
             }
+            restore_span.finish();
         }
         Ok(session)
     }
@@ -386,10 +411,16 @@ impl Experiment {
     /// as a new generation, consulting the fault injector for a scheduled
     /// disk fault (testing hook; `None` in production).
     fn save_checkpoint(&self, session: &Session, policy: &CheckpointPolicy) -> Result<()> {
+        let save_span = self.obs.span("pipeline/checkpoint/save");
         let dir = CheckpointDir::create(&policy.dir)?;
         let state = session.trainer.snapshot(&session.ps);
         let fault = self.injector.as_ref().and_then(|inj| inj.next_disk_fault());
         dir.save(&state, policy.keep, fault)?;
+        save_span.finish();
+        let epochs = session.trainer.epochs_done();
+        self.obs.event("pipeline/checkpoint/save", || {
+            format!("saved at epoch {epochs}")
+        });
         Ok(())
     }
 }
@@ -406,11 +437,17 @@ pub struct Session {
     pub test_samples: Vec<PreparedSample>,
     /// Incremental trainer (owns optimizer state).
     pub trainer: Trainer,
+    /// Observability handle inherited from the experiment (disabled when
+    /// the experiment was not built with
+    /// [`observe`](ExperimentBuilder::observe)).
+    pub obs: Obs,
 }
 
 impl Session {
-    /// Evaluate the current parameters on the test split.
+    /// Evaluate the current parameters on the test split (recorded as the
+    /// `pipeline/evaluate` span when observability is attached).
     pub fn evaluate(&self) -> EvalMetrics {
+        let _span = self.obs.span("pipeline/evaluate");
         evaluate_model(&self.model, &self.ps, &self.test_samples)
     }
 }

@@ -4,9 +4,10 @@
 
 use crate::features::{build_node_features, FeatureConfig};
 use amdgcnn_data::{Dataset, LabeledLink};
-use amdgcnn_graph::khop::extract_enclosing_subgraph;
+use amdgcnn_graph::khop::{extract_neighborhood, label_with_drnl};
 use amdgcnn_graph::LocalEdge;
 use amdgcnn_nn::{gcn::GcnAdjacency, EdgeIndex};
+use amdgcnn_obs::{Obs, Timer};
 use amdgcnn_tensor::Matrix;
 use rayon::prelude::*;
 
@@ -34,11 +35,53 @@ pub struct PreparedSample {
     pub drnl: Vec<u32>,
 }
 
+/// Cached span timers for the three phases of sample preparation.
+/// Resolve once per batch (outside the rayon fan-out) and share by
+/// reference into the workers — each record is then atomics only.
+#[derive(Debug)]
+pub struct SampleTimers {
+    total: Timer,
+    khop: Timer,
+    drnl: Timer,
+    tensorize: Timer,
+}
+
+impl SampleTimers {
+    /// Resolve the `pipeline/sample*` spans against `obs` (no-op handles
+    /// when `obs` is disabled).
+    pub fn new(obs: &Obs) -> Self {
+        Self {
+            total: obs.timer("pipeline/sample"),
+            khop: obs.timer("pipeline/sample/khop"),
+            drnl: obs.timer("pipeline/sample/drnl"),
+            tensorize: obs.timer("pipeline/sample/tensorize"),
+        }
+    }
+}
+
 /// Prepare one labeled link: extract the enclosing subgraph (target link
 /// hidden), label with DRNL, build features and both message-passing
 /// operators.
 pub fn prepare_sample(ds: &Dataset, link: &LabeledLink, fcfg: &FeatureConfig) -> PreparedSample {
-    let sub = extract_enclosing_subgraph(&ds.graph, link.u, link.v, &ds.subgraph);
+    prepare_sample_obs(ds, link, fcfg, &SampleTimers::new(&Obs::disabled()))
+}
+
+/// [`prepare_sample`] with per-phase span timing (k-hop walk, DRNL
+/// labeling, tensorization) recorded into the given timers.
+pub fn prepare_sample_obs(
+    ds: &Dataset,
+    link: &LabeledLink,
+    fcfg: &FeatureConfig,
+    timers: &SampleTimers,
+) -> PreparedSample {
+    let _total = timers.total.start();
+    let khop_span = timers.khop.start();
+    let induced = extract_neighborhood(&ds.graph, link.u, link.v, &ds.subgraph);
+    khop_span.finish();
+    let drnl_span = timers.drnl.start();
+    let sub = label_with_drnl(induced);
+    drnl_span.finish();
+    let _tensorize = timers.tensorize.start();
     let features = build_node_features(&sub, fcfg);
     let undirected: Vec<(usize, usize)> = sub
         .edges
@@ -75,9 +118,23 @@ pub fn prepare_batch(
     links: &[LabeledLink],
     fcfg: &FeatureConfig,
 ) -> Vec<PreparedSample> {
+    prepare_batch_obs(ds, links, fcfg, &Obs::disabled())
+}
+
+/// [`prepare_batch`] with per-phase span timing recorded into `obs`.
+/// Timers are resolved once here, then shared read-only across the rayon
+/// workers; timing never influences the prepared samples, so the output is
+/// bit-identical to the untimed path.
+pub fn prepare_batch_obs(
+    ds: &Dataset,
+    links: &[LabeledLink],
+    fcfg: &FeatureConfig,
+    obs: &Obs,
+) -> Vec<PreparedSample> {
+    let timers = SampleTimers::new(obs);
     links
         .par_iter()
-        .map(|l| prepare_sample(ds, l, fcfg))
+        .map(|l| prepare_sample_obs(ds, l, fcfg, &timers))
         .collect()
 }
 

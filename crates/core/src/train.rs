@@ -12,6 +12,7 @@ use crate::fault::FaultInjector;
 use crate::sample::PreparedSample;
 use crate::schedule::LrSchedule;
 use amdgcnn_nn::{Adam, Optimizer};
+use amdgcnn_obs::Obs;
 use amdgcnn_tensor::{GradStore, Matrix, ParamId, ParamStore, Tape, Var};
 use rand::{rngs::StdRng, SeedableRng};
 use rayon::prelude::*;
@@ -143,6 +144,7 @@ pub struct Trainer {
     epoch: usize,
     schedule: LrSchedule,
     injector: Option<Arc<FaultInjector>>,
+    obs: Obs,
     /// Loss history across all epochs trained so far.
     pub history: Vec<EpochStats>,
     /// Watchdog recoveries across all epochs trained so far.
@@ -158,9 +160,24 @@ impl Trainer {
             epoch: 0,
             schedule: LrSchedule::Constant,
             injector: None,
+            obs: Obs::disabled(),
             history: Vec::new(),
             recoveries: Vec::new(),
         }
+    }
+
+    /// Attach an observability registry: epoch/forward/backward/optimizer
+    /// spans and watchdog events are recorded into it. Timing is observed,
+    /// never consumed, so results stay bit-identical to an unobserved run.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.attach_obs(obs);
+        self
+    }
+
+    /// In-place variant of [`with_obs`](Self::with_obs) for trainers
+    /// already embedded in a [`crate::pipeline::Session`].
+    pub fn attach_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Replace the learning-rate schedule (applies from the next epoch).
@@ -275,11 +292,19 @@ impl Trainer {
                         retries: wd.max_retries,
                     });
                 }
+                let lr_next = self.retry_lr(self.epoch, attempt, wd);
+                self.obs.counter("train/watchdog_retries").inc();
+                {
+                    let epoch = self.epoch;
+                    self.obs.event("train/watchdog_rollback", || {
+                        format!("epoch {epoch} attempt {attempt}: {cause:?}, retry at lr {lr_next}")
+                    });
+                }
                 self.recoveries.push(RecoveryEvent {
                     epoch: self.epoch,
                     attempt,
                     cause,
-                    lr_next: self.retry_lr(self.epoch, attempt, wd),
+                    lr_next,
                 });
             }
         }
@@ -385,6 +410,12 @@ impl Trainer {
         attempt: usize,
     ) -> std::result::Result<f32, DivergenceCause> {
         let detect = self.cfg.watchdog.enabled;
+        // Span timers resolved once per epoch; the forward/backward handles
+        // are shared read-only into the rayon workers (atomics only).
+        let _epoch_span = self.obs.timer("train/epoch").start();
+        let t_forward = self.obs.timer("train/forward");
+        let t_backward = self.obs.timer("train/backward");
+        let t_opt = self.obs.timer("train/optimizer_step");
         let mut order: Vec<usize> = (0..samples.len()).collect();
         let mut shuffle_rng =
             StdRng::seed_from_u64(self.cfg.seed ^ (self.epoch as u64).wrapping_mul(0x9E37));
@@ -403,11 +434,15 @@ impl Trainer {
                             ^ (idx as u64).wrapping_mul(0x517c_c1b7_2722_0a95),
                     );
                     let mut tape = Tape::new();
+                    let forward_span = t_forward.start();
                     let logits =
                         model.forward_sample(&mut tape, ps, sample, Some(&mut dropout_rng));
                     let loss = tape.softmax_cross_entropy(logits, Arc::new(vec![sample.label]));
                     let loss_val = tape.value(loss).get(0, 0);
+                    forward_span.finish();
+                    let backward_span = t_backward.start();
                     let grads = tape.backward(loss, ps.len());
+                    backward_span.finish();
                     (loss_val, grads)
                 })
                 .collect();
@@ -429,7 +464,9 @@ impl Trainer {
             if detect && !batch_grads.all_finite() {
                 return Err(DivergenceCause::NonFiniteGradient);
             }
+            let opt_span = t_opt.start();
             self.optimizer.step(ps, &batch_grads);
+            opt_span.finish();
         }
         let mut loss = (epoch_loss / samples.len() as f64) as f32;
         if self

@@ -59,6 +59,22 @@ pub struct LocalEdge {
     pub etype: u16,
 }
 
+/// The induced subgraph around a target pair before structural labeling —
+/// the output of [`extract_neighborhood`] and the input to
+/// [`label_with_drnl`]. The split lets callers time (or parallelize) the
+/// k-hop walk and the labeling pass separately.
+///
+/// Local index 0 is always target `a` and local index 1 target `b`.
+#[derive(Debug, Clone)]
+pub struct InducedSubgraph {
+    /// Original node id per local index.
+    pub nodes: Vec<u32>,
+    /// Node type per local index (copied from the parent graph).
+    pub node_types: Vec<u16>,
+    /// Induced edges (excluding the target link) in local indices.
+    pub edges: Vec<LocalEdge>,
+}
+
 /// The enclosing subgraph of a target pair, fully labeled.
 ///
 /// Local index 0 is always target `a` and local index 1 target `b`.
@@ -141,6 +157,9 @@ fn capped_khop(g: &KnowledgeGraph, source: u32, cfg: &SubgraphConfig, rng_salt: 
 
 /// Extract the enclosing subgraph of the pair `(a, b)`.
 ///
+/// Equivalent to [`extract_neighborhood`] followed by [`label_with_drnl`];
+/// callers that want per-phase timing call the two halves directly.
+///
 /// # Panics
 /// Panics if `a == b` or either id is out of range.
 pub fn extract_enclosing_subgraph(
@@ -149,6 +168,22 @@ pub fn extract_enclosing_subgraph(
     b: u32,
     cfg: &SubgraphConfig,
 ) -> EnclosingSubgraph {
+    label_with_drnl(extract_neighborhood(g, a, b, cfg))
+}
+
+/// Phase 1 of enclosing-subgraph extraction: the capped k-hop walk from
+/// both endpoints, neighborhood combination, and edge induction (with the
+/// target link hidden). No structural labels yet — pass the result to
+/// [`label_with_drnl`].
+///
+/// # Panics
+/// Panics if `a == b` or either id is out of range.
+pub fn extract_neighborhood(
+    g: &KnowledgeGraph,
+    a: u32,
+    b: u32,
+    cfg: &SubgraphConfig,
+) -> InducedSubgraph {
     assert_ne!(a, b, "target endpoints must differ");
     assert!((a as usize) < g.num_nodes() && (b as usize) < g.num_nodes());
 
@@ -212,7 +247,23 @@ pub fn extract_enclosing_subgraph(
         }
     }
 
-    // Local BFS (target link already absent from `edges`).
+    let node_types = nodes.iter().map(|&n| g.node_type(n)).collect();
+    InducedSubgraph {
+        nodes,
+        node_types,
+        edges,
+    }
+}
+
+/// Phase 2 of enclosing-subgraph extraction: BFS distances to both targets
+/// within the induced subgraph (target link already hidden) and DRNL
+/// labeling.
+pub fn label_with_drnl(sub: InducedSubgraph) -> EnclosingSubgraph {
+    let InducedSubgraph {
+        nodes,
+        node_types,
+        edges,
+    } = sub;
     let mut adj: Vec<Vec<u32>> = vec![Vec::new(); nodes.len()];
     for e in &edges {
         adj[e.u as usize].push(e.v);
@@ -224,7 +275,6 @@ pub fn extract_enclosing_subgraph(
     let dist_b = local_bfs(&adj, 1);
     let drnl = drnl_labels(&dist_a, &dist_b);
 
-    let node_types = nodes.iter().map(|&n| g.node_type(n)).collect();
     EnclosingSubgraph {
         nodes,
         node_types,
@@ -406,6 +456,20 @@ mod tests {
         assert_eq!(local.num_nodes(), s.num_nodes());
         assert_eq!(local.num_edges(), s.num_edges());
         assert_eq!(local.node_type(0), g.node_type(1));
+    }
+
+    #[test]
+    fn two_phase_extraction_matches_combined() {
+        let g = chord_path();
+        let cfg = SubgraphConfig::default();
+        let combined = extract_enclosing_subgraph(&g, 1, 3, &cfg);
+        let phased = label_with_drnl(extract_neighborhood(&g, 1, 3, &cfg));
+        assert_eq!(combined.nodes, phased.nodes);
+        assert_eq!(combined.node_types, phased.node_types);
+        assert_eq!(combined.edges, phased.edges);
+        assert_eq!(combined.dist_a, phased.dist_a);
+        assert_eq!(combined.dist_b, phased.dist_b);
+        assert_eq!(combined.drnl, phased.drnl);
     }
 
     #[test]

@@ -42,4 +42,7 @@ pub mod wl;
 
 pub use bfs::UNREACHABLE;
 pub use graph::{Edge, GraphBuilder, GraphError, KnowledgeGraph};
-pub use khop::{EnclosingSubgraph, LocalEdge, NeighborhoodMode, SubgraphConfig};
+pub use khop::{
+    extract_neighborhood, label_with_drnl, EnclosingSubgraph, InducedSubgraph, LocalEdge,
+    NeighborhoodMode, SubgraphConfig,
+};

@@ -152,6 +152,22 @@ impl InferenceEngine {
         })
     }
 
+    /// Attach an observability registry: the engine's `serve/*` counters
+    /// and span timers register there, so one report covers serving
+    /// alongside any pipeline stages sharing the handle. Call right after
+    /// construction, before any queries. A disabled handle is upgraded to
+    /// a private enabled registry — [`stats`](InferenceEngine::stats) must
+    /// always count.
+    pub fn with_obs(mut self, obs: amdgcnn_obs::Obs) -> Self {
+        self.stats = StatsCollector::with_obs(obs);
+        self
+    }
+
+    /// The observability registry behind this engine's counters.
+    pub fn obs(&self) -> &amdgcnn_obs::Obs {
+        self.stats.obs()
+    }
+
     /// Attach a deterministic fault injector: [`try_predict`] calls will
     /// panic, fail transiently, or run slow on the schedule of the
     /// injector's plan. Direct [`predict`] calls bypass injection.

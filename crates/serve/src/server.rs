@@ -32,7 +32,7 @@
 
 use crate::engine::{ClassProbs, InferenceEngine, LinkQuery};
 use crate::error::Error;
-use crate::stats::ServerStats;
+use crate::stats::{record_drain, ServerStats};
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::mpsc;
@@ -358,6 +358,9 @@ fn worker_loop(shared: &Shared) -> WorkerExit {
         if batch.is_empty() {
             return WorkerExit::Shutdown;
         }
+        // Queue-wait per request and the batch-assembly window, measured
+        // at drain time so time spent behind a busy worker is included.
+        record_drain(&shared.engine.stats, batch.iter().map(|r| r.enqueued));
         if !execute_batch(shared, batch) {
             return WorkerExit::Died;
         }

@@ -1,12 +1,18 @@
 //! Serving counters: queries, cache effectiveness, batch latency quantiles.
 //!
-//! Counters are lock-free atomics so the hot path (a cache probe inside the
-//! engine) never contends with a stats reader; only the latency ring, which
-//! is touched once per *batch* rather than per query, sits behind a mutex.
+//! All counters live in an [`amdgcnn_obs`] registry (under `serve/*`
+//! names), so one [`amdgcnn_obs::Report`] covers training, pipeline, and
+//! serving when the same [`Obs`] handle is threaded through all of them.
+//! The collector pre-resolves every handle at construction, keeping the hot
+//! path (a cache probe inside the engine) lock-free; only the latency ring,
+//! which is touched once per *batch* rather than per query, sits behind a
+//! mutex. The ring is kept alongside the registry's bucketed histogram
+//! because it yields *exact* recent-window quantiles, which
+//! [`ServerStats`] promises.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use amdgcnn_obs::{Counter, Obs, Timer};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Latency samples retained for quantile estimation. Old samples are
 /// overwritten ring-buffer style so a long-running server reports recent
@@ -14,22 +20,26 @@ use std::time::Duration;
 const LATENCY_RING: usize = 4096;
 
 /// Internal mutable collector owned by the engine/server.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct StatsCollector {
-    queries: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    dedup_hits: AtomicU64,
-    batches: AtomicU64,
-    shed_overload: AtomicU64,
-    shed_degraded: AtomicU64,
-    deadline_expired: AtomicU64,
-    worker_panics: AtomicU64,
-    worker_respawns: AtomicU64,
-    breaker_trips: AtomicU64,
-    breaker_resets: AtomicU64,
-    engine_retries: AtomicU64,
-    failed_queries: AtomicU64,
+    obs: Obs,
+    queries: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    dedup_hits: Counter,
+    batches: Counter,
+    shed_overload: Counter,
+    shed_degraded: Counter,
+    deadline_expired: Counter,
+    worker_panics: Counter,
+    worker_respawns: Counter,
+    breaker_trips: Counter,
+    breaker_resets: Counter,
+    engine_retries: Counter,
+    failed_queries: Counter,
+    queue_wait: Timer,
+    batch_assembly: Timer,
+    engine_latency: Timer,
     latencies_us: Mutex<LatencyRing>,
 }
 
@@ -39,61 +49,125 @@ struct LatencyRing {
     next: usize,
 }
 
+impl Default for StatsCollector {
+    fn default() -> Self {
+        Self::with_obs(Obs::enabled())
+    }
+}
+
 impl StatsCollector {
+    /// Build the collector against `obs`, registering the `serve/*`
+    /// counters and span timers. [`ServerStats`] snapshots read from the
+    /// same registry, so a disabled handle is upgraded to a private
+    /// enabled one — serving stats must always count.
+    pub(crate) fn with_obs(obs: Obs) -> Self {
+        let obs = if obs.is_enabled() {
+            obs
+        } else {
+            Obs::enabled()
+        };
+        Self {
+            queries: obs.counter("serve/queries"),
+            cache_hits: obs.counter("serve/cache_hits"),
+            cache_misses: obs.counter("serve/cache_misses"),
+            dedup_hits: obs.counter("serve/dedup_hits"),
+            batches: obs.counter("serve/batches"),
+            shed_overload: obs.counter("serve/shed_overload"),
+            shed_degraded: obs.counter("serve/shed_degraded"),
+            deadline_expired: obs.counter("serve/deadline_expired"),
+            worker_panics: obs.counter("serve/worker_panics"),
+            worker_respawns: obs.counter("serve/worker_respawns"),
+            breaker_trips: obs.counter("serve/breaker_trips"),
+            breaker_resets: obs.counter("serve/breaker_resets"),
+            engine_retries: obs.counter("serve/engine_retries"),
+            failed_queries: obs.counter("serve/failed_queries"),
+            queue_wait: obs.timer("serve/queue_wait"),
+            batch_assembly: obs.timer("serve/batch_assembly"),
+            engine_latency: obs.timer("serve/engine"),
+            latencies_us: Mutex::new(LatencyRing::default()),
+            obs,
+        }
+    }
+
+    /// The registry behind this collector (for whole-process reports).
+    pub(crate) fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
     pub(crate) fn record_queries(&self, n: u64) {
-        self.queries.fetch_add(n, Ordering::Relaxed);
+        self.queries.add(n);
     }
 
     pub(crate) fn record_cache_hits(&self, n: u64) {
-        self.cache_hits.fetch_add(n, Ordering::Relaxed);
+        self.cache_hits.add(n);
     }
 
     pub(crate) fn record_cache_misses(&self, n: u64) {
-        self.cache_misses.fetch_add(n, Ordering::Relaxed);
+        self.cache_misses.add(n);
     }
 
     pub(crate) fn record_dedup_hits(&self, n: u64) {
-        self.dedup_hits.fetch_add(n, Ordering::Relaxed);
+        self.dedup_hits.add(n);
     }
 
     pub(crate) fn record_shed_overload(&self, n: u64) {
-        self.shed_overload.fetch_add(n, Ordering::Relaxed);
+        self.shed_overload.add(n);
     }
 
     pub(crate) fn record_shed_degraded(&self, n: u64) {
-        self.shed_degraded.fetch_add(n, Ordering::Relaxed);
+        self.shed_degraded.add(n);
     }
 
     pub(crate) fn record_deadline_expired(&self, n: u64) {
-        self.deadline_expired.fetch_add(n, Ordering::Relaxed);
+        self.deadline_expired.add(n);
     }
 
     pub(crate) fn record_worker_panic(&self) {
-        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+        self.worker_panics.inc();
+        self.obs
+            .event("serve/worker", || "engine panic caught in batch".into());
     }
 
     pub(crate) fn record_worker_respawn(&self) {
-        self.worker_respawns.fetch_add(1, Ordering::Relaxed);
+        self.worker_respawns.inc();
+        self.obs
+            .event("serve/worker", || "worker respawned by supervisor".into());
     }
 
     pub(crate) fn record_breaker_trip(&self) {
-        self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+        self.breaker_trips.inc();
+        self.obs.event("serve/breaker", || {
+            "tripped open after consecutive failures".into()
+        });
     }
 
     pub(crate) fn record_breaker_reset(&self) {
-        self.breaker_resets.fetch_add(1, Ordering::Relaxed);
+        self.breaker_resets.inc();
+        self.obs
+            .event("serve/breaker", || "closed after successful batch".into());
     }
 
     pub(crate) fn record_engine_retries(&self, n: u64) {
-        self.engine_retries.fetch_add(n, Ordering::Relaxed);
+        self.engine_retries.add(n);
     }
 
     pub(crate) fn record_failed_queries(&self, n: u64) {
-        self.failed_queries.fetch_add(n, Ordering::Relaxed);
+        self.failed_queries.add(n);
+    }
+
+    /// Time one request spent queued before its batch was drained.
+    pub(crate) fn record_queue_wait(&self, wait: Duration) {
+        self.queue_wait.record(wait);
+    }
+
+    /// Time spent assembling a batch (first live request seen → drain).
+    pub(crate) fn record_batch_assembly(&self, elapsed: Duration) {
+        self.batch_assembly.record(elapsed);
     }
 
     pub(crate) fn record_batch(&self, latency: Duration) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batches.inc();
+        self.engine_latency.record(latency);
         let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
         // A worker that panicked mid-record leaves the ring poisoned but
         // structurally intact; recover the guard rather than cascading.
@@ -110,11 +184,11 @@ impl StatsCollector {
     /// Consistent-enough snapshot (counters are read individually; exact
     /// cross-counter consistency is not needed for monitoring).
     pub(crate) fn snapshot(&self) -> ServerStats {
-        let queries = self.queries.load(Ordering::Relaxed);
-        let hits = self.cache_hits.load(Ordering::Relaxed);
-        let misses = self.cache_misses.load(Ordering::Relaxed);
-        let dedup = self.dedup_hits.load(Ordering::Relaxed);
-        let batches = self.batches.load(Ordering::Relaxed);
+        let queries = self.queries.get();
+        let hits = self.cache_hits.get();
+        let misses = self.cache_misses.get();
+        let dedup = self.dedup_hits.get();
+        let batches = self.batches.get();
         let mut lat: Vec<u64> = self
             .latencies_us
             .lock()
@@ -138,18 +212,33 @@ impl StatsCollector {
             } else {
                 queries as f64 / batches as f64
             },
-            shed_overload: self.shed_overload.load(Ordering::Relaxed),
-            shed_degraded: self.shed_degraded.load(Ordering::Relaxed),
-            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
-            worker_panics: self.worker_panics.load(Ordering::Relaxed),
-            worker_respawns: self.worker_respawns.load(Ordering::Relaxed),
-            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
-            breaker_resets: self.breaker_resets.load(Ordering::Relaxed),
-            engine_retries: self.engine_retries.load(Ordering::Relaxed),
-            failed_queries: self.failed_queries.load(Ordering::Relaxed),
+            shed_overload: self.shed_overload.get(),
+            shed_degraded: self.shed_degraded.get(),
+            deadline_expired: self.deadline_expired.get(),
+            worker_panics: self.worker_panics.get(),
+            worker_respawns: self.worker_respawns.get(),
+            breaker_trips: self.breaker_trips.get(),
+            breaker_resets: self.breaker_resets.get(),
+            engine_retries: self.engine_retries.get(),
+            failed_queries: self.failed_queries.get(),
             p50_batch_latency: Duration::from_micros(quantile(&lat, 0.50)),
             p99_batch_latency: Duration::from_micros(quantile(&lat, 0.99)),
         }
+    }
+}
+
+/// Record queue-wait and assembly timing for one drained batch: each
+/// request's time-in-queue plus the overall assembly window.
+pub(crate) fn record_drain(stats: &StatsCollector, waits: impl Iterator<Item = Instant>) {
+    let now = Instant::now();
+    let mut oldest: Option<Duration> = None;
+    for enqueued in waits {
+        let wait = now.saturating_duration_since(enqueued);
+        stats.record_queue_wait(wait);
+        oldest = Some(oldest.map_or(wait, |o| o.max(wait)));
+    }
+    if let Some(window) = oldest {
+        stats.record_batch_assembly(window);
     }
 }
 
@@ -257,6 +346,30 @@ mod tests {
     }
 
     #[test]
+    fn fresh_server_rates_divide_by_zero_safely() {
+        // Pin the divide-by-zero guards: every ratio on a fresh collector
+        // is exactly 0.0 (not NaN or ∞), and stays finite when only the
+        // numerator side has moved.
+        let c = StatsCollector::default();
+        let s = c.snapshot();
+        assert_eq!(s.cache_hit_rate, 0.0, "no lookups yet → rate 0.0");
+        assert_eq!(s.mean_batch_size, 0.0, "no batches yet → mean 0.0");
+        assert!(s.cache_hit_rate.is_finite() && s.mean_batch_size.is_finite());
+        // Queries recorded without any batch: the mean stays guarded.
+        c.record_queries(5);
+        let s = c.snapshot();
+        assert_eq!(s.mean_batch_size, 0.0);
+        // Hits with zero misses: rate is exactly 1.0 (denominator is
+        // hits + misses, not misses alone).
+        c.record_cache_hits(3);
+        let s = c.snapshot();
+        assert_eq!(s.cache_hit_rate, 1.0);
+        // Display must render a fresh collector without panicking.
+        let text = StatsCollector::default().snapshot().to_string();
+        assert!(text.contains("0 queries"));
+    }
+
+    #[test]
     fn hit_rate_and_quantiles() {
         let c = StatsCollector::default();
         c.record_queries(4);
@@ -273,6 +386,51 @@ mod tests {
         assert_eq!(s.mean_batch_size, 1.0);
         assert_eq!(s.p50_batch_latency, Duration::from_micros(200));
         assert_eq!(s.p99_batch_latency, Duration::from_micros(400));
+    }
+
+    #[test]
+    fn counters_flow_to_obs_registry() {
+        let obs = Obs::enabled();
+        let c = StatsCollector::with_obs(obs.clone());
+        c.record_queries(7);
+        c.record_cache_hits(2);
+        c.record_batch(Duration::from_micros(150));
+        c.record_queue_wait(Duration::from_micros(40));
+        c.record_batch_assembly(Duration::from_micros(60));
+        let report = obs.report();
+        assert_eq!(report.counter("serve/queries"), Some(7));
+        assert_eq!(report.counter("serve/cache_hits"), Some(2));
+        assert_eq!(report.counter("serve/batches"), Some(1));
+        assert_eq!(report.span("serve/engine").expect("span").count, 1);
+        assert_eq!(report.span("serve/queue_wait").expect("span").count, 1);
+        assert_eq!(report.span("serve/batch_assembly").expect("span").count, 1);
+    }
+
+    #[test]
+    fn breaker_transitions_log_events() {
+        let obs = Obs::enabled();
+        let c = StatsCollector::with_obs(obs.clone());
+        c.record_breaker_trip();
+        c.record_breaker_reset();
+        let report = obs.report();
+        assert_eq!(report.counter("serve/breaker_trips"), Some(1));
+        assert_eq!(report.counter("serve/breaker_resets"), Some(1));
+        let breaker_events: Vec<_> = report
+            .events
+            .iter()
+            .filter(|e| e.name == "serve/breaker")
+            .collect();
+        assert_eq!(breaker_events.len(), 2);
+        assert!(breaker_events[0].detail.contains("tripped"));
+        assert!(breaker_events[1].detail.contains("closed"));
+    }
+
+    #[test]
+    fn disabled_obs_is_upgraded_so_stats_still_count() {
+        let c = StatsCollector::with_obs(Obs::disabled());
+        c.record_queries(3);
+        assert_eq!(c.snapshot().queries_served, 3);
+        assert!(c.obs().is_enabled());
     }
 
     #[test]
