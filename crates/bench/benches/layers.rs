@@ -1,9 +1,10 @@
 //! Criterion benchmarks of the message-passing layers — the paper's §V-D
 //! "without a significant cost to computational latency" claim: GAT with
 //! edge attributes vs plain GCN, forward and forward+backward, on a
-//! typical enclosing subgraph.
+//! typical enclosing subgraph, all through the sparse-kernel
+//! [`MessageGraph`] path.
 
-use amdgcnn_nn::{EdgeIndex, GatConfig, GatConv, GcnAdjacency, GcnConv};
+use amdgcnn_nn::{GatConfig, GatConv, GcnConv, GraphLayer, MessageGraph};
 use amdgcnn_tensor::{Matrix, ParamStore, Tape};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::{rngs::StdRng, RngExt, SeedableRng};
@@ -28,7 +29,6 @@ fn bench_layer_forward(c: &mut Criterion) {
 
     let mut ps = ParamStore::new();
     let gcn = GcnConv::new("gcn", feat, hidden, &mut ps, &mut rng);
-    let adj = GcnAdjacency::from_edges(n, &edges);
 
     let gat_cfg = GatConfig {
         in_dim: feat,
@@ -44,9 +44,11 @@ fn bench_layer_forward(c: &mut Criterion) {
         ..gat_cfg
     };
     let gat_plain = GatConv::new("gat_plain", gat_plain_cfg, &mut ps, &mut rng);
-    let ei = EdgeIndex::from_undirected(n, &edges);
+
+    let plain = MessageGraph::from_undirected(n, &edges);
+    let typed: Vec<(usize, usize, u16)> = edges.iter().map(|&(u, v)| (u, v, 3)).collect();
     let per_edge = Matrix::from_fn(edges.len(), 18, |_, c| if c == 3 { 1.0 } else { 0.0 });
-    let expanded = ei.expand_edge_attrs(&per_edge);
+    let attributed = MessageGraph::from_typed(n, &typed, Some(&per_edge));
 
     let mut group = c.benchmark_group("layer_forward");
     group.sample_size(50);
@@ -54,30 +56,28 @@ fn bench_layer_forward(c: &mut Criterion) {
         b.iter(|| {
             let mut tape = Tape::new();
             let h = tape.leaf(features.clone());
-            black_box(gcn.forward(&mut tape, &ps, &adj, h))
+            black_box(gcn.forward(&mut tape, &ps, &plain, h))
         })
     });
     group.bench_function("gat_no_edge_attrs", |b| {
         b.iter(|| {
             let mut tape = Tape::new();
             let h = tape.leaf(features.clone());
-            black_box(gat_plain.forward(&mut tape, &ps, &ei, h, None))
+            black_box(gat_plain.forward(&mut tape, &ps, &plain, h))
         })
     });
     group.bench_function("gat_edge_attrs", |b| {
         b.iter(|| {
             let mut tape = Tape::new();
             let h = tape.leaf(features.clone());
-            let ea = tape.leaf(expanded.clone());
-            black_box(gat.forward(&mut tape, &ps, &ei, h, Some(ea)))
+            black_box(gat.forward(&mut tape, &ps, &attributed, h))
         })
     });
     group.bench_function("gat_edge_attrs_backward", |b| {
         b.iter(|| {
             let mut tape = Tape::new();
             let h = tape.leaf(features.clone());
-            let ea = tape.leaf(expanded.clone());
-            let out = gat.forward(&mut tape, &ps, &ei, h, Some(ea));
+            let out = gat.forward(&mut tape, &ps, &attributed, h);
             let act = tape.tanh(out);
             let loss = tape.mean_all(act);
             black_box(tape.backward(loss, ps.len()))

@@ -41,6 +41,7 @@ fn build_workload(pairs: &[LinkQuery], rng: &mut StdRng) -> Vec<LinkQuery> {
 }
 
 fn main() {
+    am_dgcnn::runtime::tune_allocator_for_batching();
     let ds = wn18_like(&Wn18Config::default());
     println!(
         "dataset: {} — {} nodes, {} edges, {} link classes",

@@ -24,6 +24,7 @@ pub mod features;
 pub mod metrics;
 pub mod model;
 pub mod pipeline;
+pub mod runtime;
 pub mod sample;
 pub mod schedule;
 pub mod train;

@@ -17,15 +17,24 @@
 //! *AM-DGCNN* replaces it with [`GatConv`] — attention over neighbors with
 //! the edge attributes feeding the attention logits (the paper's
 //! contribution).
+//!
+//! The stack is a `Vec<Box<dyn GraphLayer>>` over the shared
+//! [`MessageGraph`] operand, so model assembly and the forward pass are
+//! family-agnostic, and [`DgcnnModel::forward_batched`] can pack many
+//! subgraphs into one [`BlockDiagGraph`] and run the message passing as a
+//! handful of large sparse kernels — reproducing the per-sample forward
+//! bit-for-bit (all kernels reduce per destination over block-local
+//! messages).
 
 use crate::sample::PreparedSample;
 use crate::train::LinkModel;
 use amdgcnn_nn::{
-    Activation, Conv1dLayer, GatConfig, GatConv, GcnConv, Mlp, RelationalEdges, RgcnConfig,
-    RgcnConv,
+    Activation, BlockDiagGraph, Conv1dLayer, GatConfig, GatConv, GcnConv, GraphLayer, MessageGraph,
+    Mlp, RgcnConfig, RgcnConv,
 };
-use amdgcnn_tensor::{Conv1dSpec, ParamStore, Tape, Var};
+use amdgcnn_tensor::{Conv1dSpec, Matrix, ParamStore, Tape, Var};
 use rand::rngs::StdRng;
+use std::sync::Arc;
 
 /// Which message-passing family the DGCNN skeleton uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -154,19 +163,13 @@ impl ModelConfig {
     }
 }
 
-/// The message-passing stack, dispatched by [`GnnKind`].
-enum GnnStack {
-    Gcn(Vec<GcnConv>),
-    Gat(Vec<GatConv>),
-    Rgcn(Vec<RgcnConv>),
-}
-
 /// A complete (AM-)DGCNN model: parameters registered in a [`ParamStore`],
 /// forward pass producing `[1, num_classes]` logits per subgraph.
 pub struct DgcnnModel {
     /// The configuration the model was built with.
     pub cfg: ModelConfig,
-    gnn: GnnStack,
+    /// Message-passing stack behind the unified [`GraphLayer`] trait.
+    layers: Vec<Box<dyn GraphLayer>>,
     conv1: Conv1dLayer,
     conv2: Conv1dLayer,
     mlp: Mlp,
@@ -196,26 +199,24 @@ impl DgcnnModel {
         }
 
         // Message-passing stack: hidden layers then the 1-channel sort layer.
-        let gnn = match cfg.gnn {
+        let mut layers: Vec<Box<dyn GraphLayer>> = Vec::with_capacity(cfg.num_layers + 1);
+        match cfg.gnn {
             GnnKind::Gcn => {
-                let mut layers = Vec::new();
                 let mut in_dim = cfg.node_feat_dim;
                 for i in 0..cfg.num_layers {
-                    layers.push(GcnConv::new(
+                    layers.push(Box::new(GcnConv::new(
                         &format!("gcn{i}"),
                         in_dim,
                         cfg.hidden_dim,
                         ps,
                         rng,
-                    ));
+                    )));
                     in_dim = cfg.hidden_dim;
                 }
-                layers.push(GcnConv::new("gcn_sort", in_dim, 1, ps, rng));
-                GnnStack::Gcn(layers)
+                layers.push(Box::new(GcnConv::new("gcn_sort", in_dim, 1, ps, rng)));
             }
             GnnKind::Gat { edge_attrs, heads } => {
                 let edge_dim = if edge_attrs { cfg.edge_attr_dim } else { 0 };
-                let mut layers = Vec::new();
                 let mut in_dim = cfg.node_feat_dim;
                 for i in 0..cfg.num_layers {
                     let gcfg = GatConfig {
@@ -226,7 +227,7 @@ impl DgcnnModel {
                         concat: true,
                         negative_slope: 0.2,
                     };
-                    layers.push(GatConv::new(&format!("gat{i}"), gcfg, ps, rng));
+                    layers.push(Box::new(GatConv::new(&format!("gat{i}"), gcfg, ps, rng)));
                     in_dim = gcfg.output_width();
                 }
                 let sort_cfg = GatConfig {
@@ -237,18 +238,16 @@ impl DgcnnModel {
                     concat: false,
                     negative_slope: 0.2,
                 };
-                layers.push(GatConv::new("gat_sort", sort_cfg, ps, rng));
-                GnnStack::Gat(layers)
+                layers.push(Box::new(GatConv::new("gat_sort", sort_cfg, ps, rng)));
             }
             GnnKind::Rgcn { num_bases } => {
                 assert!(
                     cfg.num_relations > 0,
                     "R-GCN variant needs num_relations set from the dataset"
                 );
-                let mut layers = Vec::new();
                 let mut in_dim = cfg.node_feat_dim;
                 for i in 0..cfg.num_layers {
-                    layers.push(RgcnConv::new(
+                    layers.push(Box::new(RgcnConv::new(
                         &format!("rgcn{i}"),
                         RgcnConfig {
                             in_dim,
@@ -258,10 +257,10 @@ impl DgcnnModel {
                         },
                         ps,
                         rng,
-                    ));
+                    )));
                     in_dim = cfg.hidden_dim;
                 }
-                layers.push(RgcnConv::new(
+                layers.push(Box::new(RgcnConv::new(
                     "rgcn_sort",
                     RgcnConfig {
                         in_dim,
@@ -271,10 +270,9 @@ impl DgcnnModel {
                     },
                     ps,
                     rng,
-                ));
-                GnnStack::Rgcn(layers)
+                )));
             }
-        };
+        }
 
         let c_total = cfg.total_channels();
         let conv1 = Conv1dLayer::new(
@@ -313,11 +311,51 @@ impl DgcnnModel {
         );
         Self {
             cfg,
-            gnn,
+            layers,
             conv1,
             conv2,
             mlp,
         }
+    }
+
+    /// Run the message-passing stack (tanh between layers) and concatenate
+    /// every layer's output — DGCNN's `[N, C_total]` representation.
+    fn gnn_concat(&self, tape: &mut Tape, ps: &ParamStore, graph: &MessageGraph, x: Var) -> Var {
+        let mut outputs: Vec<Var> = Vec::with_capacity(self.layers.len());
+        let mut h = x;
+        for layer in &self.layers {
+            let z = layer.forward(tape, ps, graph, h);
+            h = tape.tanh(z);
+            outputs.push(h);
+        }
+        if outputs.len() == 1 {
+            outputs[0]
+        } else {
+            tape.concat_cols(&outputs)
+        }
+    }
+
+    /// SortPooling + 1-D convolution read-out + dense classifier over one
+    /// subgraph's `[N, C_total]` concatenated representation.
+    fn readout(
+        &self,
+        tape: &mut Tape,
+        ps: &ParamStore,
+        cat: Var,
+        dropout_rng: Option<&mut StdRng>,
+    ) -> Var {
+        let c_total = self.cfg.total_channels();
+        debug_assert_eq!(tape.shape(cat).1, c_total);
+        let pooled = tape.sort_pool(cat, self.cfg.sort_k);
+        let flat = tape.reshape(pooled, 1, self.cfg.sort_k * c_total);
+        let c1 = self.conv1.forward(tape, ps, flat);
+        let c1 = tape.tanh(c1);
+        let p1 = tape.max_pool1d(c1, 2);
+        let c2 = self.conv2.forward(tape, ps, p1);
+        let c2 = tape.tanh(c2);
+        let (ch, len) = tape.shape(c2);
+        let flat2 = tape.reshape(c2, 1, ch * len);
+        self.mlp.forward(tape, ps, flat2, dropout_rng)
     }
 
     /// Forward pass over one prepared subgraph. Returns `[1, num_classes]`
@@ -330,75 +368,48 @@ impl DgcnnModel {
         dropout_rng: Option<&mut StdRng>,
     ) -> Var {
         let x = tape.leaf(sample.features.clone());
+        let cat = self.gnn_concat(tape, ps, &sample.graph, x);
+        self.readout(tape, ps, cat, dropout_rng)
+    }
 
-        // Message passing with tanh between layers; every layer's output is
-        // kept for the DGCNN concatenation.
-        let mut outputs: Vec<Var> = Vec::new();
-        let mut h = x;
-        match &self.gnn {
-            GnnStack::Gcn(layers) => {
-                for layer in layers {
-                    let z = layer.forward(tape, ps, &sample.gcn_adj, h);
-                    h = tape.tanh(z);
-                    outputs.push(h);
-                }
-            }
-            GnnStack::Gat(layers) => {
-                let wants_edge_attrs = matches!(
-                    self.cfg.gnn,
-                    GnnKind::Gat {
-                        edge_attrs: true,
-                        ..
-                    }
-                );
-                let ea = if wants_edge_attrs {
-                    Some(tape.leaf(sample.edge_attrs.clone().unwrap_or_else(|| {
-                        panic!("sample lacks edge attributes required by AM-DGCNN")
-                    })))
-                } else {
-                    None
-                };
-                for layer in layers {
-                    let z = layer.forward(tape, ps, &sample.edge_index, h, ea);
-                    h = tape.tanh(z);
-                    outputs.push(h);
-                }
-            }
-            GnnStack::Rgcn(layers) => {
-                let typed: Vec<(usize, usize, u16)> = sample
-                    .edges
-                    .iter()
-                    .map(|e| (e.u as usize, e.v as usize, e.etype))
-                    .collect();
-                let re = RelationalEdges::from_undirected(sample.num_nodes, &typed);
-                for layer in layers {
-                    let z = layer.forward(tape, ps, &re, h);
-                    h = tape.tanh(z);
-                    outputs.push(h);
-                }
-            }
+    /// Batched forward pass: packs the samples' graphs into one
+    /// [`BlockDiagGraph`], runs the message-passing stack once over the
+    /// packed graph, then applies the per-sample read-out to each block's
+    /// node rows. Returns one `[1, num_classes]` logit row per sample, in
+    /// order.
+    ///
+    /// Because every sparse kernel reduces per destination over that
+    /// destination's (block-local) messages in the same order as the
+    /// per-sample graph, and the dense ops are row-independent, the batched
+    /// logits are **bit-identical** to [`forward`](Self::forward) run
+    /// sample by sample. `dropout_rngs`, when given, must hold one RNG per
+    /// sample (the same streams the per-sample path would use).
+    pub fn forward_batched(
+        &self,
+        tape: &mut Tape,
+        ps: &ParamStore,
+        samples: &[&PreparedSample],
+        mut dropout_rngs: Option<&mut [StdRng]>,
+    ) -> Vec<Var> {
+        if samples.is_empty() {
+            return Vec::new();
         }
-
-        let cat = if outputs.len() == 1 {
-            outputs[0]
-        } else {
-            tape.concat_cols(&outputs)
-        };
-        let c_total = self.cfg.total_channels();
-        debug_assert_eq!(tape.shape(cat).1, c_total);
-
-        // SortPooling + 1-D read-out.
-        let pooled = tape.sort_pool(cat, self.cfg.sort_k);
-        let flat = tape.reshape(pooled, 1, self.cfg.sort_k * c_total);
-        let c1 = self.conv1.forward(tape, ps, flat);
-        let c1 = tape.tanh(c1);
-        let p1 = tape.max_pool1d(c1, 2);
-        let c2 = self.conv2.forward(tape, ps, p1);
-        let c2 = tape.tanh(c2);
-        let (ch, len) = tape.shape(c2);
-        let flat2 = tape.reshape(c2, 1, ch * len);
-
-        self.mlp.forward(tape, ps, flat2, dropout_rng)
+        if let Some(rngs) = dropout_rngs.as_ref() {
+            assert_eq!(rngs.len(), samples.len(), "one dropout RNG per sample");
+        }
+        let graphs: Vec<&MessageGraph> = samples.iter().map(|s| &s.graph).collect();
+        let packed = BlockDiagGraph::pack(&graphs);
+        let feats: Vec<&Matrix> = samples.iter().map(|s| &s.features).collect();
+        let x = tape.leaf(Matrix::concat_rows(&feats));
+        let cat = self.gnn_concat(tape, ps, &packed.graph, x);
+        (0..samples.len())
+            .map(|k| {
+                let idx: Vec<usize> = packed.node_range(k).collect();
+                let local = tape.gather_rows(cat, Arc::new(idx));
+                let rng = dropout_rngs.as_mut().map(|r| &mut r[k]);
+                self.readout(tape, ps, local, rng)
+            })
+            .collect()
     }
 }
 
@@ -413,6 +424,16 @@ impl LinkModel for DgcnnModel {
         self.forward(tape, ps, sample, dropout_rng)
     }
 
+    fn forward_batch(
+        &self,
+        tape: &mut Tape,
+        ps: &ParamStore,
+        samples: &[&PreparedSample],
+        dropout_rngs: Option<&mut [StdRng]>,
+    ) -> Vec<Var> {
+        self.forward_batched(tape, ps, samples, dropout_rngs)
+    }
+
     fn num_classes(&self) -> usize {
         self.cfg.num_classes
     }
@@ -422,11 +443,9 @@ impl LinkModel for DgcnnModel {
 mod tests {
     use super::*;
     use crate::features::FeatureConfig;
-    use crate::sample::prepare_sample;
+    use crate::sample::{prepare_batch, prepare_sample};
     use amdgcnn_data::{biokg_like, cora_like, wn18_like, BioKgConfig, CoraConfig, Wn18Config};
-    use amdgcnn_tensor::Matrix;
     use rand::SeedableRng;
-    use std::sync::Arc;
 
     fn build(
         ds: &amdgcnn_data::Dataset,
@@ -638,5 +657,70 @@ mod tests {
         assert_eq!(cfg.total_channels(), 3 * 64 + 1);
         let m = Matrix::zeros(1, 1);
         let _ = m; // silence unused warnings in some toolchains
+    }
+
+    #[test]
+    fn batched_forward_is_bit_identical_per_kind() {
+        let ds = wn18_like(&Wn18Config::tiny());
+        for (seed, gnn) in [
+            (10, GnnKind::Gcn),
+            (11, GnnKind::am_dgcnn()),
+            (12, GnnKind::Rgcn { num_bases: 3 }),
+        ] {
+            let fcfg = FeatureConfig::for_graph(ds.graph.num_node_types());
+            let mut cfg =
+                ModelConfig::dgcnn_defaults(gnn, fcfg.dim(), ds.edge_attrs.dim(), ds.num_classes);
+            cfg.hidden_dim = 8;
+            cfg.sort_k = 12;
+            cfg.dense_dim = 16;
+            cfg.num_relations = ds.graph.num_edge_types();
+            let mut ps = ParamStore::new();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let model = DgcnnModel::new(cfg, &mut ps, &mut rng);
+            let samples = prepare_batch(&ds, &ds.train[..6], &fcfg);
+            let refs: Vec<&PreparedSample> = samples.iter().collect();
+
+            let mut batch_tape = Tape::new();
+            let batched = model.forward_batched(&mut batch_tape, &ps, &refs, None);
+            assert_eq!(batched.len(), samples.len());
+            for (k, s) in samples.iter().enumerate() {
+                let mut tape = Tape::new();
+                let single = model.forward(&mut tape, &ps, s, None);
+                assert_eq!(
+                    batch_tape.value(batched[k]),
+                    tape.value(single),
+                    "{} sample {k} diverged from the per-sample forward",
+                    gnn.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_forward_matches_training_mode_dropout() {
+        let ds = wn18_like(&Wn18Config::tiny());
+        let (model, ps, fcfg) = build(&ds, GnnKind::am_dgcnn(), 13);
+        let samples = prepare_batch(&ds, &ds.train[..4], &fcfg);
+        let refs: Vec<&PreparedSample> = samples.iter().collect();
+        let seed_rngs = || -> Vec<StdRng> {
+            (0..samples.len())
+                .map(|i| StdRng::seed_from_u64(900 + i as u64))
+                .collect()
+        };
+
+        let mut rngs = seed_rngs();
+        let mut batch_tape = Tape::new();
+        let batched = model.forward_batched(&mut batch_tape, &ps, &refs, Some(&mut rngs));
+        let mut single_rngs = seed_rngs();
+        for (k, s) in samples.iter().enumerate() {
+            let mut tape = Tape::new();
+            let single = model.forward(&mut tape, &ps, s, Some(&mut single_rngs[k]));
+            assert_eq!(
+                batch_tape.value(batched[k]),
+                tape.value(single),
+                "sample {k}: batched training forward must replay the same \
+                 per-sample dropout stream"
+            );
+        }
     }
 }

@@ -1,12 +1,12 @@
 //! Prepared training/evaluation samples: everything a model forward pass
-//! needs for one target link, precomputed once (subgraph, features,
-//! adjacency operators, expanded edge attributes).
+//! needs for one target link, precomputed once (subgraph, features, and the
+//! unified [`MessageGraph`] message-passing operand).
 
 use crate::features::{build_node_features, FeatureConfig};
 use amdgcnn_data::{Dataset, LabeledLink};
 use amdgcnn_graph::khop::{extract_neighborhood, label_with_drnl};
 use amdgcnn_graph::LocalEdge;
-use amdgcnn_nn::{gcn::GcnAdjacency, EdgeIndex};
+use amdgcnn_nn::MessageGraph;
 use amdgcnn_obs::{Obs, Timer};
 use amdgcnn_tensor::Matrix;
 use rayon::prelude::*;
@@ -16,13 +16,9 @@ use rayon::prelude::*;
 pub struct PreparedSample {
     /// Node attribute matrix `[N, feature_dim]`.
     pub features: Matrix,
-    /// Directed message structure for GAT layers.
-    pub edge_index: EdgeIndex,
-    /// Normalized adjacency for GCN layers.
-    pub gcn_adj: GcnAdjacency,
-    /// Per-message edge attributes `[M, edge_dim]`, when the dataset has
-    /// them.
-    pub edge_attrs: Option<Matrix>,
+    /// Unified message-passing operand: CSR topology, relation types, and
+    /// expanded edge attributes, consumed by every layer family.
+    pub graph: MessageGraph,
     /// Class label.
     pub label: usize,
     /// Subgraph node count.
@@ -60,8 +56,8 @@ impl SampleTimers {
 }
 
 /// Prepare one labeled link: extract the enclosing subgraph (target link
-/// hidden), label with DRNL, build features and both message-passing
-/// operators.
+/// hidden), label with DRNL, build features and the message-passing
+/// operand.
 pub fn prepare_sample(ds: &Dataset, link: &LabeledLink, fcfg: &FeatureConfig) -> PreparedSample {
     prepare_sample_obs(ds, link, fcfg, &SampleTimers::new(&Obs::disabled()))
 }
@@ -83,27 +79,24 @@ pub fn prepare_sample_obs(
     drnl_span.finish();
     let _tensorize = timers.tensorize.start();
     let features = build_node_features(&sub, fcfg);
-    let undirected: Vec<(usize, usize)> = sub
+    let typed: Vec<(usize, usize, u16)> = sub
         .edges
         .iter()
-        .map(|e| (e.u as usize, e.v as usize))
+        .map(|e| (e.u as usize, e.v as usize, e.etype))
         .collect();
-    let edge_index = EdgeIndex::from_undirected(sub.num_nodes(), &undirected);
-    let gcn_adj = GcnAdjacency::from_edges(sub.num_nodes(), &undirected);
-    let edge_attrs = (ds.edge_attrs.dim() > 0).then(|| {
+    let per_edge = (ds.edge_attrs.dim() > 0).then(|| {
         let mut per_edge = Matrix::zeros(sub.edges.len(), ds.edge_attrs.dim());
         for (i, e) in sub.edges.iter().enumerate() {
             per_edge
                 .row_mut(i)
                 .copy_from_slice(ds.edge_attrs.row(e.etype));
         }
-        edge_index.expand_edge_attrs(&per_edge)
+        per_edge
     });
+    let graph = MessageGraph::from_typed(sub.num_nodes(), &typed, per_edge.as_ref());
     PreparedSample {
         features,
-        edge_index,
-        gcn_adj,
-        edge_attrs,
+        graph,
         label: link.class,
         num_nodes: sub.num_nodes(),
         num_edges: sub.num_edges(),
@@ -151,10 +144,10 @@ mod tests {
         assert!(s.num_nodes >= 2);
         assert_eq!(s.features.rows(), s.num_nodes);
         assert_eq!(s.features.cols(), fcfg.dim());
-        let ea = s.edge_attrs.as_ref().expect("wn18 has edge attrs");
-        assert_eq!(ea.rows(), s.edge_index.num_messages());
+        let ea = s.graph.edge_attrs().expect("wn18 has edge attrs");
+        assert_eq!(ea.rows(), s.graph.num_messages());
         assert_eq!(ea.cols(), 18);
-        assert_eq!(s.gcn_adj.num_nodes(), s.num_nodes);
+        assert_eq!(s.graph.num_nodes(), s.num_nodes);
     }
 
     #[test]
@@ -162,7 +155,7 @@ mod tests {
         let ds = cora_like(&CoraConfig::tiny());
         let fcfg = FeatureConfig::for_graph(ds.graph.num_node_types());
         let s = prepare_sample(&ds, &ds.train[0], &fcfg);
-        assert!(s.edge_attrs.is_none());
+        assert!(s.graph.edge_attrs().is_none());
     }
 
     #[test]
@@ -173,10 +166,11 @@ mod tests {
         let fcfg = FeatureConfig::for_graph(1);
         for link in ds.train.iter().take(10) {
             let s = prepare_sample(&ds, link, &fcfg);
-            for m in 0..s.edge_index.num_messages() {
-                let (src, dst) = (s.edge_index.src[m], s.edge_index.dst[m]);
+            let src = s.graph.csr().src_ids();
+            let dst = s.graph.csr().dst_ids();
+            for m in 0..s.graph.num_messages() {
                 assert!(
-                    !((src == 0 && dst == 1) || (src == 1 && dst == 0)),
+                    !((src[m] == 0 && dst[m] == 1) || (src[m] == 1 && dst[m] == 0)),
                     "target link leaked into message structure"
                 );
             }
@@ -203,5 +197,24 @@ mod tests {
         assert_eq!(a.features, b.features);
         assert_eq!(a.num_nodes, b.num_nodes);
         assert_eq!(a.num_edges, b.num_edges);
+        assert_eq!(a.graph.csr().src_ids(), b.graph.csr().src_ids());
+        assert_eq!(a.graph.relations(), b.graph.relations());
+    }
+
+    #[test]
+    fn message_relations_match_induced_edges() {
+        // Every non-self-loop message carries the relation of the edge it
+        // came from — the R-GCN path reads these directly.
+        let ds = wn18_like(&Wn18Config::tiny());
+        let fcfg = FeatureConfig::for_graph(1);
+        let s = prepare_sample(&ds, &ds.train[1], &fcfg);
+        for (m, orig) in s.graph.orig_edge().iter().enumerate() {
+            match orig {
+                Some(e) => {
+                    assert_eq!(s.graph.relations()[m], Some(s.edges[*e].etype));
+                }
+                None => assert_eq!(s.graph.relations()[m], None),
+            }
+        }
     }
 }

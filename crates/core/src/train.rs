@@ -33,6 +33,29 @@ pub trait LinkModel: Sync {
         dropout_rng: Option<&mut StdRng>,
     ) -> Var;
 
+    /// Forward a whole minibatch on one tape, returning one logits `Var`
+    /// per sample in order. `dropout_rngs`, when given, holds one RNG per
+    /// sample. The default runs [`forward_sample`](Self::forward_sample)
+    /// per sample; [`crate::model::DgcnnModel`] overrides it with a
+    /// block-diagonal packed forward that runs the message passing as a
+    /// few large sparse kernels.
+    fn forward_batch(
+        &self,
+        tape: &mut Tape,
+        ps: &ParamStore,
+        samples: &[&PreparedSample],
+        mut dropout_rngs: Option<&mut [StdRng]>,
+    ) -> Vec<Var> {
+        samples
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let rng = dropout_rngs.as_mut().map(|r| &mut r[i]);
+                self.forward_sample(tape, ps, s, rng)
+            })
+            .collect()
+    }
+
     /// Number of output classes.
     fn num_classes(&self) -> usize;
 }
@@ -86,6 +109,12 @@ pub struct TrainConfig {
     pub seed: u64,
     /// Divergence detection and rollback recovery.
     pub watchdog: WatchdogConfig,
+    /// Run each minibatch as one block-diagonal packed forward/backward
+    /// (`true`, the default) instead of per-sample tapes fanned over rayon.
+    /// The packed forward is bit-identical per sample; only the gradient
+    /// *reduction* regroups float sums, so the loss trajectories of the two
+    /// modes agree to float tolerance rather than bitwise.
+    pub batched: bool,
 }
 
 impl Default for TrainConfig {
@@ -97,6 +126,7 @@ impl Default for TrainConfig {
             grad_clip: Some(5.0),
             seed: 0,
             watchdog: WatchdogConfig::default(),
+            batched: true,
         }
     }
 }
@@ -423,41 +453,78 @@ impl Trainer {
 
         let mut epoch_loss = 0.0f64;
         for chunk in order.chunks(self.cfg.batch_size) {
-            // Parallel per-sample gradients; ordered reduction below.
-            let results: Vec<(f32, GradStore)> = chunk
-                .par_iter()
-                .map(|&idx| {
-                    let sample = &samples[idx];
-                    let mut dropout_rng = StdRng::seed_from_u64(
-                        self.cfg.seed
-                            ^ (self.epoch as u64) << 32
-                            ^ (idx as u64).wrapping_mul(0x517c_c1b7_2722_0a95),
-                    );
-                    let mut tape = Tape::new();
-                    let forward_span = t_forward.start();
-                    let logits =
-                        model.forward_sample(&mut tape, ps, sample, Some(&mut dropout_rng));
-                    let loss = tape.softmax_cross_entropy(logits, Arc::new(vec![sample.label]));
-                    let loss_val = tape.value(loss).get(0, 0);
-                    forward_span.finish();
-                    let backward_span = t_backward.start();
-                    let grads = tape.backward(loss, ps.len());
-                    backward_span.finish();
-                    (loss_val, grads)
-                })
-                .collect();
+            let dropout_rng_for = |idx: usize| {
+                StdRng::seed_from_u64(
+                    self.cfg.seed
+                        ^ (self.epoch as u64) << 32
+                        ^ (idx as u64).wrapping_mul(0x517c_c1b7_2722_0a95),
+                )
+            };
+            let (loss_vals, batch_grads) = if self.cfg.batched {
+                // One tape for the whole minibatch: the model packs the
+                // subgraphs block-diagonally and runs the message passing
+                // as a few large sparse kernels. Per-sample dropout streams
+                // are the same the per-sample path would draw.
+                let refs: Vec<&PreparedSample> = chunk.iter().map(|&idx| &samples[idx]).collect();
+                let mut rngs: Vec<StdRng> = chunk.iter().map(|&idx| dropout_rng_for(idx)).collect();
+                let mut tape = Tape::new();
+                let forward_span = t_forward.start();
+                let logits = model.forward_batch(&mut tape, ps, &refs, Some(&mut rngs));
+                let losses: Vec<Var> = logits
+                    .iter()
+                    .zip(refs.iter())
+                    .map(|(&l, s)| tape.softmax_cross_entropy(l, Arc::new(vec![s.label])))
+                    .collect();
+                let loss_vals: Vec<f32> = losses.iter().map(|&l| tape.value(l).get(0, 0)).collect();
+                // Mean batch loss on-tape: its backward IS the mean of the
+                // per-sample gradients, replacing the merge+scale reduction.
+                let mut total = losses[0];
+                for &l in &losses[1..] {
+                    total = tape.add(total, l);
+                }
+                let mean = tape.scale(total, 1.0 / chunk.len() as f32);
+                forward_span.finish();
+                let backward_span = t_backward.start();
+                let grads = tape.backward(mean, ps.len());
+                backward_span.finish();
+                (loss_vals, grads)
+            } else {
+                // Legacy path: parallel per-sample tapes; ordered reduction.
+                let results: Vec<(f32, GradStore)> = chunk
+                    .par_iter()
+                    .map(|&idx| {
+                        let sample = &samples[idx];
+                        let mut dropout_rng = dropout_rng_for(idx);
+                        let mut tape = Tape::new();
+                        let forward_span = t_forward.start();
+                        let logits =
+                            model.forward_sample(&mut tape, ps, sample, Some(&mut dropout_rng));
+                        let loss = tape.softmax_cross_entropy(logits, Arc::new(vec![sample.label]));
+                        let loss_val = tape.value(loss).get(0, 0);
+                        forward_span.finish();
+                        let backward_span = t_backward.start();
+                        let grads = tape.backward(loss, ps.len());
+                        backward_span.finish();
+                        (loss_val, grads)
+                    })
+                    .collect();
+                let mut batch_grads = GradStore::new(ps.len());
+                for (_, grads) in &results {
+                    batch_grads.merge(grads);
+                }
+                batch_grads.scale(1.0 / chunk.len() as f32);
+                (results.into_iter().map(|(l, _)| l).collect(), batch_grads)
+            };
 
-            let mut batch_grads = GradStore::new(ps.len());
             let mut losses_finite = true;
-            for (loss_val, grads) in &results {
+            for loss_val in &loss_vals {
                 epoch_loss += *loss_val as f64;
                 losses_finite &= loss_val.is_finite();
-                batch_grads.merge(grads);
             }
             if detect && !losses_finite {
                 return Err(DivergenceCause::NonFiniteLoss);
             }
-            batch_grads.scale(1.0 / chunk.len() as f32);
+            let mut batch_grads = batch_grads;
             if let Some(clip) = self.cfg.grad_clip {
                 batch_grads.clip_global_norm(clip);
             }
@@ -486,25 +553,39 @@ impl Trainer {
     }
 }
 
+/// Inference micro-batch size for [`predict_probs`]: large enough to
+/// amortize the packed-kernel launches, small enough to bound tape memory.
+const PREDICT_CHUNK: usize = 32;
+
 /// Class-probability predictions for a batch of samples (inference mode,
-/// parallel, order preserved). Returns `[num_samples, num_classes]`.
+/// micro-batched packed forwards fanned over rayon, order preserved).
+/// Returns `[num_samples, num_classes]` — bit-identical to a per-sample
+/// forward loop, since the packed forward reproduces each sample's logits
+/// exactly.
 pub fn predict_probs(
     model: &impl LinkModel,
     ps: &ParamStore,
     samples: &[PreparedSample],
 ) -> Matrix {
-    let rows: Vec<Vec<f32>> = samples
+    let chunks: Vec<&[PreparedSample]> = samples.chunks(PREDICT_CHUNK).collect();
+    let chunk_rows: Vec<Vec<Vec<f32>>> = chunks
         .par_iter()
-        .map(|sample| {
+        .map(|chunk| {
+            let refs: Vec<&PreparedSample> = chunk.iter().collect();
             let mut tape = Tape::new();
-            let logits = model.forward_sample(&mut tape, ps, sample, None);
-            let probs = tape.softmax_rows(logits);
-            tape.value(probs).row(0).to_vec()
+            let logits = model.forward_batch(&mut tape, ps, &refs, None);
+            logits
+                .into_iter()
+                .map(|l| {
+                    let probs = tape.softmax_rows(l);
+                    tape.value(probs).row(0).to_vec()
+                })
+                .collect()
         })
         .collect();
     let cols = model.num_classes();
-    let mut out = Matrix::zeros(rows.len(), cols);
-    for (r, row) in rows.iter().enumerate() {
+    let mut out = Matrix::zeros(samples.len(), cols);
+    for (r, row) in chunk_rows.iter().flatten().enumerate() {
         out.row_mut(r).copy_from_slice(row);
     }
     out
@@ -627,6 +708,33 @@ mod tests {
         assert!((trainer.current_lr() - 0.4).abs() < 1e-6);
         trainer.train(&model, &mut ps, &samples, 2).expect("train");
         assert!((trainer.current_lr() - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batched_and_legacy_training_agree() {
+        // The packed forward is bit-identical per sample; only the gradient
+        // reduction regroups float sums, so short trajectories agree to
+        // tight float tolerance.
+        let run = |batched: bool| {
+            let (model, mut ps, samples) = tiny_setup(GnnKind::am_dgcnn());
+            let mut trainer = Trainer::new(TrainConfig {
+                lr: 5e-3,
+                seed: 7,
+                batched,
+                ..Default::default()
+            });
+            trainer.train(&model, &mut ps, &samples, 2).expect("train");
+            trainer.history.iter().map(|e| e.loss).collect::<Vec<_>>()
+        };
+        let b = run(true);
+        let l = run(false);
+        assert_eq!(
+            b[0], l[0],
+            "epoch 1 sees identical params: losses match bitwise"
+        );
+        for (x, y) in b.iter().zip(&l) {
+            assert!((x - y).abs() < 1e-4, "batched {x} vs legacy {y}");
+        }
     }
 
     #[test]

@@ -2,10 +2,26 @@
 //! usually illustrated with: `Katz(u, v) = Σ_{l≥1} β^l · |walks_l(u, v)|`.
 //!
 //! We compute the truncated series with repeated sparse adjacency
-//! applications of an indicator vector, which is exact up to the truncation
-//! depth and never materializes an n×n matrix.
+//! applications ([`CsrMatrix::spmv_f64`]) of an indicator vector, which is
+//! exact up to the truncation depth and never materializes an n×n matrix.
+//! Walk counts are small integers, so the `f64` accumulation is exact.
 
 use crate::graph::KnowledgeGraph;
+use amdgcnn_tensor::CsrMatrix;
+
+/// Adjacency operator `M[x][w] = #edges w → x` as a CSR matrix, so one
+/// level of walk counting is `next = M · walks`. Multi-edges sum to their
+/// multiplicity via [`CsrMatrix::from_triplets`] dedup.
+fn adjacency(g: &KnowledgeGraph) -> CsrMatrix {
+    let n = g.num_nodes();
+    let mut triplets = Vec::new();
+    for w in 0..n {
+        for x in g.neighbor_ids(w as u32) {
+            triplets.push((x as usize, w, 1.0f32));
+        }
+    }
+    CsrMatrix::from_triplets(n, n, &triplets)
+}
 
 /// Katz parameters.
 #[derive(Debug, Clone, Copy)]
@@ -29,23 +45,15 @@ impl Default for KatzConfig {
 /// Truncated Katz index between `u` and `v`.
 pub fn katz_score(g: &KnowledgeGraph, u: u32, v: u32, cfg: &KatzConfig) -> f64 {
     let n = g.num_nodes();
-    // walk_counts[w] = number of length-l walks u → w, updated per level.
+    let a = adjacency(g);
+    // walks[w] = number of length-l walks u → w, updated per level.
     let mut walks = vec![0.0f64; n];
     walks[u as usize] = 1.0;
     let mut score = 0.0;
     let mut beta_pow = 1.0;
     for _ in 1..=cfg.max_len {
         beta_pow *= cfg.beta;
-        let mut next = vec![0.0f64; n];
-        for (w, &count) in walks.iter().enumerate() {
-            if count == 0.0 {
-                continue;
-            }
-            for x in g.neighbor_ids(w as u32) {
-                next[x as usize] += count;
-            }
-        }
-        walks = next;
+        walks = a.spmv_f64(&walks);
         score += beta_pow * walks[v as usize];
     }
     score
@@ -54,21 +62,13 @@ pub fn katz_score(g: &KnowledgeGraph, u: u32, v: u32, cfg: &KatzConfig) -> f64 {
 /// Katz centrality vector (truncated): `c = Σ_l β^l (Aᵀ)^l 1`.
 pub fn katz_centrality(g: &KnowledgeGraph, cfg: &KatzConfig) -> Vec<f64> {
     let n = g.num_nodes();
+    let a = adjacency(g);
     let mut walks = vec![1.0f64; n];
     let mut centrality = vec![0.0f64; n];
     let mut beta_pow = 1.0;
     for _ in 1..=cfg.max_len {
         beta_pow *= cfg.beta;
-        let mut next = vec![0.0f64; n];
-        for (w, &count) in walks.iter().enumerate() {
-            if count == 0.0 {
-                continue;
-            }
-            for x in g.neighbor_ids(w as u32) {
-                next[x as usize] += count;
-            }
-        }
-        walks = next;
+        walks = a.spmv_f64(&walks);
         for i in 0..n {
             centrality[i] += beta_pow * walks[i];
         }

@@ -3,8 +3,14 @@
 //! Both are γ-decaying heuristics in the sense of Zhang & Chen (2018), which
 //! is what justifies SEAL's local enclosing subgraphs: their influence decays
 //! exponentially with hop distance.
+//!
+//! The power iteration runs as one [`CsrMatrix::spmv_f64`] per step against
+//! the (integer-valued, hence exactly representable) adjacency-count
+//! operator; the per-node out-degree division stays in `f64` outside the
+//! matrix so no transition probability is ever rounded to `f32`.
 
 use crate::graph::KnowledgeGraph;
+use amdgcnn_tensor::CsrMatrix;
 
 /// PageRank parameters.
 #[derive(Debug, Clone, Copy)]
@@ -56,27 +62,34 @@ pub fn personalized_pagerank(
             None => 1.0 / n as f64,
         }
     };
+    // A_t[v][u] = #edges u → v: one spmv of the damped, degree-normalized
+    // rank vector distributes each node's mass across its out-edges.
+    let mut triplets = Vec::new();
+    for u in 0..n {
+        for v in g.neighbor_ids(u as u32) {
+            triplets.push((v as usize, u, 1.0f32));
+        }
+    }
+    let a_t = CsrMatrix::from_triplets(n, n, &triplets);
+    let degs: Vec<usize> = (0..n).map(|u| g.degree(u as u32)).collect();
+
     let mut rank: Vec<f64> = (0..n).map(restart).collect();
-    let mut next = vec![0.0f64; n];
+    let mut push = vec![0.0f64; n];
     for _ in 0..cfg.max_iters {
-        for (i, slot) in next.iter_mut().enumerate() {
-            *slot = (1.0 - cfg.damping) * restart(i);
-        }
         let mut dangling_mass = 0.0;
-        for (u, &rank_u) in rank.iter().enumerate() {
-            let deg = g.degree(u as u32);
-            if deg == 0 {
-                dangling_mass += rank_u;
-                continue;
-            }
-            let share = cfg.damping * rank_u / deg as f64;
-            for v in g.neighbor_ids(u as u32) {
-                next[v as usize] += share;
+        for (u, slot) in push.iter_mut().enumerate() {
+            if degs[u] == 0 {
+                dangling_mass += rank[u];
+                *slot = 0.0;
+            } else {
+                *slot = cfg.damping * rank[u] / degs[u] as f64;
             }
         }
-        if dangling_mass > 0.0 {
-            // Dangling nodes restart like a teleport.
-            for (i, slot) in next.iter_mut().enumerate() {
+        let mut next = a_t.spmv_f64(&push);
+        for (i, slot) in next.iter_mut().enumerate() {
+            *slot += (1.0 - cfg.damping) * restart(i);
+            if dangling_mass > 0.0 {
+                // Dangling nodes restart like a teleport.
                 *slot += cfg.damping * dangling_mass * restart(i);
             }
         }

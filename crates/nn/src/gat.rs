@@ -19,89 +19,27 @@
 //! every node attends to itself (with a zero edge attribute, matching the
 //! "no relation" encoding). Multi-head attention concatenates (hidden
 //! layers) or averages (final layer) the per-head outputs.
+//!
+//! ## Kernelized attention
+//!
+//! The concatenation `aᵀ[dst_f ‖ src_f ‖ eat]` is never materialized.
+//! Splitting `a` into its `dst`/`src`/`edge` row blocks the logit
+//! decomposes into per-*node* scores plus a per-message edge score,
+//!
+//! ```text
+//! e_ij = LeakyReLU( (W·h)·a_dst |_i + (W·h)·a_src |_j + (W_e·x)·a_e |_ij )
+//! ```
+//!
+//! which is exactly the g-SDDMM add kernel over two `[N, 1]` columns and
+//! one `[M, 1]` column. Aggregation is the learnable-weight g-SpMM of α
+//! against `W·h` plus an edge-payload aggregation of α against `W_e·x` —
+//! no per-edge `gather_rows`/`concat_cols` tape nodes remain.
 
 use crate::activation::Activation;
+use crate::message_graph::{GraphLayer, MessageGraph};
 use amdgcnn_tensor::{init, Matrix, ParamId, ParamStore, Tape, Var};
 use rand::rngs::StdRng;
 use std::sync::Arc;
-
-/// Directed message structure of a (sub)graph, shared by every GAT layer of
-/// a forward pass: messages sorted by destination with contiguous
-/// per-destination segments for the attention softmax.
-#[derive(Debug, Clone)]
-pub struct EdgeIndex {
-    /// Number of nodes.
-    pub num_nodes: usize,
-    /// Source node per directed message.
-    pub src: Arc<Vec<usize>>,
-    /// Destination node per directed message (non-decreasing).
-    pub dst: Arc<Vec<usize>>,
-    /// Original undirected-edge index per message (`None` for self-loops).
-    pub orig_edge: Vec<Option<usize>>,
-    /// `(start, end)` message ranges per destination segment.
-    pub segments: Arc<Vec<(usize, usize)>>,
-}
-
-impl EdgeIndex {
-    /// Build from an undirected edge list, adding a self-loop per node.
-    /// Each undirected edge yields two directed messages.
-    pub fn from_undirected(num_nodes: usize, edges: &[(usize, usize)]) -> Self {
-        // (dst, src, orig_edge) triples; self-loops carry no original edge.
-        let mut msgs: Vec<(usize, usize, Option<usize>)> =
-            Vec::with_capacity(edges.len() * 2 + num_nodes);
-        for (idx, &(u, v)) in edges.iter().enumerate() {
-            assert!(
-                u < num_nodes && v < num_nodes,
-                "edge ({u},{v}) out of range"
-            );
-            msgs.push((v, u, Some(idx)));
-            if u != v {
-                msgs.push((u, v, Some(idx)));
-            }
-        }
-        for n in 0..num_nodes {
-            msgs.push((n, n, None));
-        }
-        msgs.sort_unstable_by_key(|&(d, s, e)| (d, s, e));
-
-        let mut segments = Vec::with_capacity(num_nodes);
-        let mut start = 0usize;
-        for n in 0..num_nodes {
-            let mut end = start;
-            while end < msgs.len() && msgs[end].0 == n {
-                end += 1;
-            }
-            segments.push((start, end));
-            start = end;
-        }
-
-        Self {
-            num_nodes,
-            src: Arc::new(msgs.iter().map(|&(_, s, _)| s).collect()),
-            dst: Arc::new(msgs.iter().map(|&(d, _, _)| d).collect()),
-            orig_edge: msgs.iter().map(|&(_, _, e)| e).collect(),
-            segments: Arc::new(segments),
-        }
-    }
-
-    /// Number of directed messages (including self-loops).
-    pub fn num_messages(&self) -> usize {
-        self.src.len()
-    }
-
-    /// Expand per-undirected-edge attribute rows into per-message rows
-    /// (self-loops get all-zero attributes).
-    pub fn expand_edge_attrs(&self, edge_attrs: &Matrix) -> Matrix {
-        let cols = edge_attrs.cols();
-        let mut out = Matrix::zeros(self.num_messages(), cols);
-        for (m, orig) in self.orig_edge.iter().enumerate() {
-            if let Some(e) = orig {
-                out.row_mut(m).copy_from_slice(edge_attrs.row(*e));
-            }
-        }
-        out
-    }
-}
 
 /// Parameters of one attention head.
 #[derive(Debug, Clone)]
@@ -120,7 +58,8 @@ pub struct GatConfig {
     /// Output width per head.
     pub out_dim: usize,
     /// Edge-attribute width consumed by attention (0 disables edge attrs —
-    /// the ablation switch isolating the paper's edge-attribute claim).
+    /// the ablation switch isolating the paper's edge-attribute claim; the
+    /// layer then ignores any attributes the graph carries).
     pub edge_dim: usize,
     /// Number of attention heads.
     pub heads: usize,
@@ -182,23 +121,28 @@ impl GatConv {
         Self { cfg, heads }
     }
 
-    /// Forward pass.
-    ///
-    /// * `h` — node features `[N, in_dim]`.
-    /// * `edge_attr` — per-message attributes `[M, edge_dim]` (already
-    ///   expanded with [`EdgeIndex::expand_edge_attrs`]); required iff the
-    ///   layer was configured with `edge_dim > 0`.
-    pub fn forward(
+    /// Convenience: forward followed by an activation.
+    pub fn forward_activated(
         &self,
         tape: &mut Tape,
         ps: &ParamStore,
-        ei: &EdgeIndex,
+        graph: &MessageGraph,
         h: Var,
-        edge_attr: Option<Var>,
+        act: Activation,
     ) -> Var {
+        let out = self.forward(tape, ps, graph, h);
+        act.apply(tape, out)
+    }
+}
+
+impl GraphLayer for GatConv {
+    /// Forward pass over the shared [`MessageGraph`]. When the layer is
+    /// configured with `edge_dim > 0` the graph must carry (matching-width)
+    /// edge attributes; with `edge_dim == 0` any attributes are ignored.
+    fn forward(&self, tape: &mut Tape, ps: &ParamStore, graph: &MessageGraph, h: Var) -> Var {
         debug_assert_eq!(
             tape.shape(h).0,
-            ei.num_nodes,
+            graph.num_nodes(),
             "GatConv: node count mismatch"
         );
         debug_assert_eq!(
@@ -206,38 +150,60 @@ impl GatConv {
             self.cfg.in_dim,
             "GatConv: input width mismatch"
         );
-        assert_eq!(
-            edge_attr.is_some(),
-            self.cfg.edge_dim > 0,
-            "GatConv: edge_attr presence must match configured edge_dim"
-        );
+        let edge_attr = if self.cfg.edge_dim > 0 {
+            let ea = graph.edge_attrs().unwrap_or_else(|| {
+                panic!("GatConv: edge_attr presence must match configured edge_dim")
+            });
+            assert_eq!(
+                ea.cols(),
+                self.cfg.edge_dim,
+                "GatConv: edge-attribute width mismatch"
+            );
+            // Mounted once and shared by every head of this layer.
+            Some(tape.shared_leaf(ea.clone()))
+        } else {
+            None
+        };
+        let csr = graph.csr();
+        let out = self.cfg.out_dim;
 
         let mut head_outputs = Vec::with_capacity(self.heads.len());
         for head in &self.heads {
             let w = tape.param(head.weight, ps.get(head.weight).clone());
             let hw = tape.matmul(h, w); // [N, out]
-            let src_f = tape.gather_rows(hw, ei.src.clone()); // [M, out]
-            let dst_f = tape.gather_rows(hw, ei.dst.clone()); // [M, out]
 
-            let (cat, edge_term) = match (head.edge_weight, edge_attr) {
+            // Split the attention vector into its dst/src/edge row blocks.
+            let a = tape.param(head.attn, ps.get(head.attn).clone());
+            let a_dst = tape.gather_rows(a, Arc::new((0..out).collect()));
+            let a_src = tape.gather_rows(a, Arc::new((out..2 * out).collect()));
+            let s_dst = tape.matmul(hw, a_dst); // [N, 1]
+            let s_src = tape.matmul(hw, a_src); // [N, 1]
+
+            let (s_edge, edge_term) = match (head.edge_weight, edge_attr) {
                 (Some(we), Some(ea)) => {
                     let wev = tape.param(we, ps.get(we).clone());
                     let eat = tape.matmul(ea, wev); // [M, out]
-                    (tape.concat_cols(&[dst_f, src_f, eat]), Some(eat))
+                    let a_e = tape.gather_rows(a, Arc::new((2 * out..3 * out).collect()));
+                    (Some(tape.matmul(eat, a_e)), Some(eat)) // [M, 1]
                 }
-                _ => (tape.concat_cols(&[dst_f, src_f]), None),
+                _ => (None, None),
             };
-            let a = tape.param(head.attn, ps.get(head.attn).clone());
-            let logits = tape.matmul(cat, a); // [M, 1]
+
+            let logits = tape.edge_score(csr.clone(), s_src, s_dst, s_edge); // [M, 1]
             let logits = tape.leaky_relu(logits, self.cfg.negative_slope);
-            let alpha = tape.segment_softmax(logits, ei.segments.clone());
-            // Message value: transformed source plus transformed edge attr.
-            let value = match edge_term {
-                Some(eat) => tape.add(src_f, eat),
-                None => src_f,
+            let alpha = tape.segment_softmax(logits, graph.segments());
+
+            // Message value: transformed source plus transformed edge attr,
+            // attention-weighted and reduced per destination in one kernel
+            // call each.
+            let agg = tape.gspmm(csr.clone(), alpha, hw); // [N, out]
+            let agg = match edge_term {
+                Some(eat) => {
+                    let ea_agg = tape.edge_aggregate(csr.clone(), alpha, eat);
+                    tape.add(agg, ea_agg)
+                }
+                None => agg,
             };
-            let weighted = tape.mul_col_broadcast(value, alpha); // [M, out]
-            let agg = tape.scatter_add_rows(weighted, ei.dst.clone(), ei.num_nodes);
             let b = tape.param(head.bias, ps.get(head.bias).clone());
             head_outputs.push(tape.add_row_broadcast(agg, b));
         }
@@ -258,18 +224,8 @@ impl GatConv {
         }
     }
 
-    /// Convenience: forward followed by an activation.
-    pub fn forward_activated(
-        &self,
-        tape: &mut Tape,
-        ps: &ParamStore,
-        ei: &EdgeIndex,
-        h: Var,
-        edge_attr: Option<Var>,
-        act: Activation,
-    ) -> Var {
-        let out = self.forward(tape, ps, ei, h, edge_attr);
-        act.apply(tape, out)
+    fn output_width(&self) -> usize {
+        self.cfg.output_width()
     }
 }
 
@@ -297,58 +253,25 @@ mod tests {
     }
 
     #[test]
-    fn edge_index_structure() {
-        // Path 0-1-2.
-        let ei = EdgeIndex::from_undirected(3, &[(0, 1), (1, 2)]);
-        // Messages: 2 per edge + 3 self-loops = 7.
-        assert_eq!(ei.num_messages(), 7);
-        assert_eq!(ei.segments.len(), 3);
-        // dst is sorted; each segment covers that node's incoming msgs.
-        for (n, &(s, e)) in ei.segments.iter().enumerate() {
-            for m in s..e {
-                assert_eq!(ei.dst[m], n);
-            }
-        }
-        // Node 1 receives from 0, 2, and itself.
-        let (s, e) = ei.segments[1];
-        let mut srcs: Vec<usize> = (s..e).map(|m| ei.src[m]).collect();
-        srcs.sort_unstable();
-        assert_eq!(srcs, vec![0, 1, 2]);
-    }
-
-    #[test]
-    fn edge_attr_expansion_zeroes_self_loops() {
-        let ei = EdgeIndex::from_undirected(2, &[(0, 1)]);
-        let attrs = Matrix::from_vec(1, 2, vec![1.0, -1.0]);
-        let expanded = ei.expand_edge_attrs(&attrs);
-        assert_eq!(expanded.shape(), (4, 2));
-        for (m, orig) in ei.orig_edge.iter().enumerate() {
-            match orig {
-                Some(0) => assert_eq!(expanded.row(m), &[1.0, -1.0]),
-                None => assert_eq!(expanded.row(m), &[0.0, 0.0]),
-                other => panic!("unexpected orig edge {other:?}"),
-            }
-        }
-    }
-
-    #[test]
     fn output_shapes_concat_vs_average() {
         let mut ps = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(0);
-        let ei = EdgeIndex::from_undirected(4, &[(0, 1), (1, 2), (2, 3)]);
+        let graph = MessageGraph::from_undirected(4, &[(0, 1), (1, 2), (2, 3)]);
         let input = Matrix::from_fn(4, 3, |r, c| (r + c) as f32 * 0.1);
 
         let layer = GatConv::new("g", cfg(3, 5, 0, 2, true), &mut ps, &mut rng);
         let mut tape = Tape::new();
         let h = tape.leaf(input.clone());
-        let out = layer.forward(&mut tape, &ps, &ei, h, None);
+        let out = layer.forward(&mut tape, &ps, &graph, h);
         assert_eq!(tape.shape(out), (4, 10));
+        assert_eq!(layer.output_width(), 10);
 
         let layer2 = GatConv::new("g2", cfg(3, 5, 0, 2, false), &mut ps, &mut rng);
         let mut tape2 = Tape::new();
         let h2 = tape2.leaf(input);
-        let out2 = layer2.forward(&mut tape2, &ps, &ei, h2, None);
+        let out2 = layer2.forward(&mut tape2, &ps, &graph, h2);
         assert_eq!(tape2.shape(out2), (4, 5));
+        assert_eq!(layer2.output_width(), 5);
     }
 
     #[test]
@@ -359,13 +282,13 @@ mod tests {
         let mut ps = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(1);
         let layer = GatConv::new("g", cfg(2, 3, 0, 1, true), &mut ps, &mut rng);
-        let ei = EdgeIndex::from_undirected(4, &[(0, 1), (0, 2), (0, 3), (1, 2)]);
+        let graph = MessageGraph::from_undirected(4, &[(0, 1), (0, 2), (0, 3), (1, 2)]);
         let shared = Matrix::from_vec(1, 2, vec![0.7, -0.4]);
         let input = Matrix::from_fn(4, 2, |_, c| shared.get(0, c));
 
         let mut tape = Tape::new();
         let h = tape.leaf(input.clone());
-        let out = layer.forward(&mut tape, &ps, &ei, h, None);
+        let out = layer.forward(&mut tape, &ps, &graph, h);
         // Expected: shared·W + bias for every node.
         let hw = amdgcnn_tensor::matmul::matmul(&shared, ps.get(layer.heads[0].weight));
         for n in 0..4 {
@@ -386,14 +309,14 @@ mod tests {
         let mut ps = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(2);
         let layer = GatConv::new("g", cfg(2, 3, 2, 1, true), &mut ps, &mut rng);
-        let ei = EdgeIndex::from_undirected(3, &[(0, 1), (1, 2)]);
+        let edges = [(0, 1, 0), (1, 2, 1)];
         let input = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32 * 0.3);
 
         let run = |attrs: Matrix, ps: &ParamStore| {
+            let graph = MessageGraph::from_typed(3, &edges, Some(&attrs));
             let mut tape = Tape::new();
             let h = tape.leaf(input.clone());
-            let ea = tape.leaf(ei.expand_edge_attrs(&attrs));
-            let out = layer.forward(&mut tape, ps, &ei, h, Some(ea));
+            let out = layer.forward(&mut tape, ps, &graph, h);
             tape.value(out).clone()
         };
         let pos = run(Matrix::from_vec(2, 2, vec![1.0, 0.0, 1.0, 0.0]), &ps);
@@ -410,10 +333,30 @@ mod tests {
         let mut ps = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(3);
         let layer = GatConv::new("g", cfg(2, 2, 2, 1, true), &mut ps, &mut rng);
-        let ei = EdgeIndex::from_undirected(2, &[(0, 1)]);
+        let graph = MessageGraph::from_undirected(2, &[(0, 1)]); // no attrs
         let mut tape = Tape::new();
         let h = tape.leaf(Matrix::zeros(2, 2));
-        let _ = layer.forward(&mut tape, &ps, &ei, h, None);
+        let _ = layer.forward(&mut tape, &ps, &graph, h);
+    }
+
+    #[test]
+    fn edge_dim_zero_ignores_graph_attrs() {
+        // The ablation layer runs unchanged whether or not the graph
+        // carries attributes.
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let layer = GatConv::new("g", cfg(2, 2, 0, 1, true), &mut ps, &mut rng);
+        let input = Matrix::from_fn(2, 2, |r, c| (r + c) as f32 * 0.5);
+        let attrs = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let with = MessageGraph::from_typed(2, &[(0, 1, 0)], Some(&attrs));
+        let without = MessageGraph::from_undirected(2, &[(0, 1)]);
+        let run = |g: &MessageGraph| {
+            let mut tape = Tape::new();
+            let h = tape.leaf(input.clone());
+            let out = layer.forward(&mut tape, &ps, g, h);
+            tape.value(out).clone()
+        };
+        assert_eq!(run(&with).max_abs_diff(&run(&without)), 0.0);
     }
 
     #[test]
@@ -421,16 +364,14 @@ mod tests {
         let mut ps = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(4);
         let layer = GatConv::new("g", cfg(2, 2, 2, 2, true), &mut ps, &mut rng);
-        let ei = EdgeIndex::from_undirected(3, &[(0, 1), (1, 2), (0, 2)]);
-        let input = Matrix::from_fn(3, 2, |r, c| ((r * 2 + c) as f32 * 0.43).sin());
         let attrs = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0]);
-        let expanded = ei.expand_edge_attrs(&attrs);
+        let graph = MessageGraph::from_typed(3, &[(0, 1, 0), (1, 2, 1), (0, 2, 2)], Some(&attrs));
+        let input = Matrix::from_fn(3, 2, |r, c| ((r * 2 + c) as f32 * 0.43).sin());
         let res = check_gradients(
             &ps,
             |tape, store| {
                 let h = tape.leaf(input.clone());
-                let ea = tape.leaf(expanded.clone());
-                let out = layer.forward(tape, store, &ei, h, Some(ea));
+                let out = layer.forward(tape, store, &graph, h);
                 let act = tape.tanh(out);
                 let sq = tape.mul(act, act);
                 tape.mean_all(sq)
@@ -446,13 +387,13 @@ mod tests {
         let mut ps = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(5);
         let layer = GatConv::new("g", cfg(2, 3, 0, 2, false), &mut ps, &mut rng);
-        let ei = EdgeIndex::from_undirected(3, &[(0, 1), (1, 2)]);
+        let graph = MessageGraph::from_undirected(3, &[(0, 1), (1, 2)]);
         let input = Matrix::from_fn(3, 2, |r, c| ((r + 2 * c) as f32 * 0.27).cos());
         let res = check_gradients(
             &ps,
             |tape, store| {
                 let h = tape.leaf(input.clone());
-                let out = layer.forward(tape, store, &ei, h, None);
+                let out = layer.forward(tape, store, &graph, h);
                 let sq = tape.mul(out, out);
                 tape.mean_all(sq)
             },
@@ -467,11 +408,11 @@ mod tests {
         let mut ps = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(6);
         let layer = GatConv::new("g", cfg(2, 2, 0, 1, true), &mut ps, &mut rng);
-        let ei = EdgeIndex::from_undirected(3, &[(0, 1)]); // node 2 isolated
+        let graph = MessageGraph::from_undirected(3, &[(0, 1)]); // node 2 isolated
         let input = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32);
         let mut tape = Tape::new();
         let h = tape.leaf(input.clone());
-        let out = layer.forward(&mut tape, &ps, &ei, h, None);
+        let out = layer.forward(&mut tape, &ps, &graph, h);
         // Node 2's segment has one message (its self-loop) with weight 1.
         let hw = amdgcnn_tensor::matmul::matmul(&input, ps.get(layer.heads[0].weight));
         for c in 0..2 {

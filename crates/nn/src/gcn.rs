@@ -5,35 +5,15 @@
 //! Note the crucial limitation the paper exploits: this layer has no way to
 //! consume edge attributes — every neighbor contributes with a weight fixed
 //! by the normalized topology alone.
+//!
+//! Â is never materialized: the layer runs the static-weight g-SpMM kernel
+//! over the shared [`MessageGraph`] CSR with the cached symmetric-norm
+//! weights `w[m] = d^{-1/2}(dst)·d^{-1/2}(src)` (self-loops are ordinary
+//! messages, so the degrees already count the `+I`).
 
-use amdgcnn_tensor::{init, CsrMatrix, Matrix, ParamId, ParamStore, Tape, Var};
+use crate::message_graph::{GraphLayer, MessageGraph};
+use amdgcnn_tensor::{init, Matrix, ParamId, ParamStore, Tape, Var};
 use rand::rngs::StdRng;
-use std::sync::Arc;
-
-/// Precomputed normalized adjacency operator shared by all GCN layers of a
-/// forward pass (it only depends on the subgraph, not on the layer).
-#[derive(Debug, Clone)]
-pub struct GcnAdjacency {
-    /// `Â` in CSR form.
-    pub adj: Arc<CsrMatrix>,
-    /// `Âᵀ` (equal to `Â` for undirected graphs, kept explicit for the
-    /// backward rule).
-    pub adj_t: Arc<CsrMatrix>,
-}
-
-impl GcnAdjacency {
-    /// Build `Â` from an undirected edge list over `n` nodes.
-    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
-        let adj = Arc::new(CsrMatrix::gcn_norm_from_edges(n, edges));
-        let adj_t = Arc::new(adj.transpose());
-        Self { adj, adj_t }
-    }
-
-    /// Number of nodes the operator covers.
-    pub fn num_nodes(&self) -> usize {
-        self.adj.rows()
-    }
-}
 
 /// One graph-convolution layer.
 #[derive(Debug, Clone)]
@@ -69,10 +49,12 @@ impl GcnConv {
             out_dim,
         }
     }
+}
 
+impl GraphLayer for GcnConv {
     /// Forward pass: `Â·(H·W) + b` (activation applied by the caller, as
     /// DGCNN uses tanh between its stacked layers).
-    pub fn forward(&self, tape: &mut Tape, ps: &ParamStore, adj: &GcnAdjacency, h: Var) -> Var {
+    fn forward(&self, tape: &mut Tape, ps: &ParamStore, graph: &MessageGraph, h: Var) -> Var {
         debug_assert_eq!(
             tape.shape(h).1,
             self.in_dim,
@@ -80,14 +62,18 @@ impl GcnConv {
         );
         debug_assert_eq!(
             tape.shape(h).0,
-            adj.num_nodes(),
+            graph.num_nodes(),
             "GcnConv: node count mismatch"
         );
         let w = tape.param(self.weight, ps.get(self.weight).clone());
         let hw = tape.matmul(h, w);
-        let agg = tape.spmm(adj.adj.clone(), adj.adj_t.clone(), hw);
+        let agg = tape.gspmm_static(graph.csr().clone(), graph.gcn_weights(), hw);
         let b = tape.param(self.bias, ps.get(self.bias).clone());
         tape.add_row_broadcast(agg, b)
+    }
+
+    fn output_width(&self) -> usize {
+        self.out_dim
     }
 }
 
@@ -98,8 +84,8 @@ mod tests {
     use amdgcnn_tensor::matmul::matmul;
     use rand::SeedableRng;
 
-    fn path_adj() -> GcnAdjacency {
-        GcnAdjacency::from_edges(3, &[(0, 1), (1, 2)])
+    fn path_graph() -> MessageGraph {
+        MessageGraph::from_undirected(3, &[(0, 1), (1, 2)])
     }
 
     #[test]
@@ -107,15 +93,17 @@ mod tests {
         let mut ps = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(0);
         let layer = GcnConv::new("g", 2, 2, &mut ps, &mut rng);
-        let adj = path_adj();
+        let graph = path_graph();
         let input = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32);
 
         let mut tape = Tape::new();
         let h = tape.leaf(input.clone());
-        let out = layer.forward(&mut tape, &ps, &adj, h);
+        let out = layer.forward(&mut tape, &ps, &graph, h);
 
+        // Reference: dense Â = D^{-1/2}(A+I)D^{-1/2} applied to H·W.
         let hw = matmul(&input, ps.get(layer.weight));
-        let expect = adj.adj.spmm(&hw).add_row_broadcast(ps.get(layer.bias));
+        let adj = graph.csr().to_dense_adj(&graph.gcn_weights());
+        let expect = matmul(&adj, &hw).add_row_broadcast(ps.get(layer.bias));
         assert!(tape.value(out).max_abs_diff(&expect) < 1e-5);
     }
 
@@ -126,11 +114,11 @@ mod tests {
         let mut ps = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(1);
         let layer = GcnConv::new("g", 2, 3, &mut ps, &mut rng);
-        let adj = GcnAdjacency::from_edges(3, &[(0, 1)]);
+        let graph = MessageGraph::from_undirected(3, &[(0, 1)]);
         let input = Matrix::from_fn(3, 2, |r, c| (r + c) as f32 + 1.0);
         let mut tape = Tape::new();
         let h = tape.leaf(input.clone());
-        let out = layer.forward(&mut tape, &ps, &adj, h);
+        let out = layer.forward(&mut tape, &ps, &graph, h);
         let hw = matmul(&input, ps.get(layer.weight));
         for c in 0..3 {
             let expect = hw.get(2, c) + ps.get(layer.bias).get(0, c);
@@ -146,17 +134,17 @@ mod tests {
         let layer = GcnConv::new("g", 2, 2, &mut ps, &mut rng);
         let input = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
 
-        let adj1 = GcnAdjacency::from_edges(3, &[(0, 1), (1, 2)]);
+        let g1 = MessageGraph::from_undirected(3, &[(0, 1), (1, 2)]);
         let mut t1 = Tape::new();
         let h1 = t1.leaf(input.clone());
-        let o1 = layer.forward(&mut t1, &ps, &adj1, h1);
+        let o1 = layer.forward(&mut t1, &ps, &g1, h1);
 
         // Permutation 0→2, 1→1, 2→0.
-        let adj2 = GcnAdjacency::from_edges(3, &[(2, 1), (1, 0)]);
+        let g2 = MessageGraph::from_undirected(3, &[(2, 1), (1, 0)]);
         let perm_input = input.gather_rows(&[2, 1, 0]);
         let mut t2 = Tape::new();
         let h2 = t2.leaf(perm_input);
-        let o2 = layer.forward(&mut t2, &ps, &adj2, h2);
+        let o2 = layer.forward(&mut t2, &ps, &g2, h2);
 
         let expect = t1.value(o1).gather_rows(&[2, 1, 0]);
         assert!(t2.value(o2).max_abs_diff(&expect) < 1e-5);
@@ -167,13 +155,13 @@ mod tests {
         let mut ps = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(3);
         let layer = GcnConv::new("g", 2, 2, &mut ps, &mut rng);
-        let adj = path_adj();
+        let graph = path_graph();
         let input = Matrix::from_fn(3, 2, |r, c| ((r * 2 + c) as f32 * 0.31).sin());
         let res = check_gradients(
             &ps,
             |tape, store| {
                 let h = tape.leaf(input.clone());
-                let out = layer.forward(tape, store, &adj, h);
+                let out = layer.forward(tape, store, &graph, h);
                 let act = tape.tanh(out);
                 let sq = tape.mul(act, act);
                 tape.mean_all(sq)

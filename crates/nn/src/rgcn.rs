@@ -8,80 +8,17 @@
 //! h'_i = W_self·h_i + b + Σ_r Σ_{j ∈ N_r(i)} (1/|N_r(i)|) · W_r·h_j
 //! W_r  = Σ_b  C[r,b] · B_b          (basis decomposition)
 //! ```
+//!
+//! Each relation's inner sum is one static-weight g-SpMM over the shared
+//! [`MessageGraph`] CSR using that relation's cached weight vector
+//! (`1/|N_r(dst)|` on its messages, zero elsewhere — zero entries add
+//! exact `0.0`, so the relation masking is bit-identical to the old
+//! per-group gather/scatter path).
 
+use crate::message_graph::{GraphLayer, MessageGraph};
 use amdgcnn_tensor::{init, Matrix, ParamId, ParamStore, Tape, Var};
 use rand::rngs::StdRng;
 use std::sync::Arc;
-
-/// Directed messages grouped by relation, with per-destination in-degree
-/// normalization — shared by every R-GCN layer of a forward pass.
-#[derive(Debug, Clone)]
-pub struct RelationalEdges {
-    /// Number of nodes.
-    pub num_nodes: usize,
-    /// Message groups, one per relation present.
-    pub groups: Vec<RelGroup>,
-}
-
-/// Messages of one relation.
-#[derive(Debug, Clone)]
-pub struct RelGroup {
-    /// Relation id.
-    pub relation: u16,
-    /// Source node per message.
-    pub src: Arc<Vec<usize>>,
-    /// Destination node per message.
-    pub dst: Arc<Vec<usize>>,
-    /// `1/|N_r(dst)|` per message.
-    pub norm: Matrix,
-}
-
-impl RelationalEdges {
-    /// Build from an undirected typed edge list; each edge contributes a
-    /// message in both directions under its relation.
-    pub fn from_undirected(num_nodes: usize, edges: &[(usize, usize, u16)]) -> Self {
-        use std::collections::BTreeMap;
-        let mut by_rel: BTreeMap<u16, Vec<(usize, usize)>> = BTreeMap::new();
-        for &(u, v, r) in edges {
-            assert!(
-                u < num_nodes && v < num_nodes,
-                "edge ({u},{v}) out of range"
-            );
-            by_rel.entry(r).or_default().push((u, v));
-            if u != v {
-                by_rel.entry(r).or_default().push((v, u));
-            }
-        }
-        let groups = by_rel
-            .into_iter()
-            .map(|(relation, msgs)| {
-                let mut indeg = vec![0usize; num_nodes];
-                for &(_, d) in &msgs {
-                    indeg[d] += 1;
-                }
-                let src: Vec<usize> = msgs.iter().map(|&(s, _)| s).collect();
-                let dst: Vec<usize> = msgs.iter().map(|&(_, d)| d).collect();
-                let norm = Matrix::from_vec(
-                    msgs.len(),
-                    1,
-                    dst.iter().map(|&d| 1.0 / indeg[d] as f32).collect(),
-                );
-                RelGroup {
-                    relation,
-                    src: Arc::new(src),
-                    dst: Arc::new(dst),
-                    norm,
-                }
-            })
-            .collect();
-        Self { num_nodes, groups }
-    }
-
-    /// Total directed message count.
-    pub fn num_messages(&self) -> usize {
-        self.groups.iter().map(|g| g.src.len()).sum()
-    }
-}
 
 /// R-GCN layer configuration.
 #[derive(Debug, Clone, Copy)]
@@ -140,12 +77,15 @@ impl RgcnConv {
             bias,
         }
     }
+}
 
-    /// Forward pass over grouped relational messages.
-    pub fn forward(&self, tape: &mut Tape, ps: &ParamStore, re: &RelationalEdges, h: Var) -> Var {
+impl GraphLayer for RgcnConv {
+    /// Forward pass: self connection plus one masked g-SpMM per relation
+    /// present in the graph.
+    fn forward(&self, tape: &mut Tape, ps: &ParamStore, graph: &MessageGraph, h: Var) -> Var {
         debug_assert_eq!(
             tape.shape(h).0,
-            re.num_nodes,
+            graph.num_nodes(),
             "RgcnConv: node count mismatch"
         );
         debug_assert_eq!(
@@ -160,25 +100,25 @@ impl RgcnConv {
         let ws = tape.param(self.self_weight, ps.get(self.self_weight).clone());
         let mut out = tape.matmul(h, ws);
 
-        for g in &re.groups {
+        for (relation, w) in graph.relation_weights().iter() {
             debug_assert!(
-                (g.relation as usize) < self.cfg.num_relations,
-                "relation {} outside coefficient table",
-                g.relation
+                (*relation as usize) < self.cfg.num_relations,
+                "relation {relation} outside coefficient table"
             );
             // W_r = C[r, :] · bases, reshaped to [in, out].
-            let crow = tape.gather_rows(coeffs, Arc::new(vec![g.relation as usize]));
+            let crow = tape.gather_rows(coeffs, Arc::new(vec![*relation as usize]));
             let wr_flat = tape.matmul(crow, bases);
             let wr = tape.reshape(wr_flat, self.cfg.in_dim, self.cfg.out_dim);
             let hw = tape.matmul(h, wr);
-            let msg = tape.gather_rows(hw, g.src.clone());
-            let norm = tape.leaf(g.norm.clone());
-            let msg = tape.mul_col_broadcast(msg, norm);
-            let agg = tape.scatter_add_rows(msg, g.dst.clone(), re.num_nodes);
+            let agg = tape.gspmm_static(graph.csr().clone(), w.clone(), hw);
             out = tape.add(out, agg);
         }
         let b = tape.param(self.bias, ps.get(self.bias).clone());
         tape.add_row_broadcast(out, b)
+    }
+
+    fn output_width(&self) -> usize {
+        self.cfg.out_dim
     }
 }
 
@@ -198,31 +138,19 @@ mod tests {
     }
 
     #[test]
-    fn relational_edges_group_and_normalize() {
-        // Edges: (0,1,r0), (1,2,r0), (0,2,r1).
-        let re = RelationalEdges::from_undirected(3, &[(0, 1, 0), (1, 2, 0), (0, 2, 1)]);
-        assert_eq!(re.groups.len(), 2);
-        assert_eq!(re.num_messages(), 6);
-        let g0 = &re.groups[0];
-        assert_eq!(g0.relation, 0);
-        // Node 1 receives two r0 messages → each normalized by 1/2.
-        for (i, &d) in g0.dst.iter().enumerate() {
-            let expect = if d == 1 { 0.5 } else { 1.0 };
-            assert_eq!(g0.norm.get(i, 0), expect, "message {i} to node {d}");
-        }
-    }
-
-    #[test]
     fn forward_shapes_and_isolated_nodes() {
         let mut ps = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(0);
         let layer = RgcnConv::new("r", cfg(4, 5), &mut ps, &mut rng);
-        let re = RelationalEdges::from_undirected(4, &[(0, 1, 0), (1, 2, 2)]); // node 3 isolated
+        // Node 3 isolated.
+        let graph = MessageGraph::from_typed(4, &[(0, 1, 0), (1, 2, 2)], None);
         let mut tape = Tape::new();
         let h = tape.leaf(Matrix::from_fn(4, 4, |r, c| (r + c) as f32 * 0.2));
-        let out = layer.forward(&mut tape, &ps, &re, h);
+        let out = layer.forward(&mut tape, &ps, &graph, h);
         assert_eq!(tape.shape(out), (4, 5));
-        // Node 3 gets only the self connection + bias.
+        assert_eq!(layer.output_width(), 5);
+        // Node 3 gets only the self connection + bias (its self-loop message
+        // carries no relation, and it receives no relational messages).
         let expect = amdgcnn_tensor::matmul::matmul(
             &tape.value(h).gather_rows(&[3]),
             ps.get(layer.self_weight),
@@ -240,10 +168,10 @@ mod tests {
         let layer = RgcnConv::new("r", cfg(3, 3), &mut ps, &mut rng);
         let h = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32 * 0.4 - 0.5);
         let run = |rel: u16| {
-            let re = RelationalEdges::from_undirected(2, &[(0, 1, rel)]);
+            let graph = MessageGraph::from_typed(2, &[(0, 1, rel)], None);
             let mut tape = Tape::new();
             let hv = tape.leaf(h.clone());
-            let out = layer.forward(&mut tape, &ps, &re, hv);
+            let out = layer.forward(&mut tape, &ps, &graph, hv);
             tape.value(out).clone()
         };
         assert!(
@@ -257,13 +185,13 @@ mod tests {
         let mut ps = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(2);
         let layer = RgcnConv::new("r", cfg(2, 2), &mut ps, &mut rng);
-        let re = RelationalEdges::from_undirected(3, &[(0, 1, 0), (1, 2, 1), (0, 2, 2)]);
+        let graph = MessageGraph::from_typed(3, &[(0, 1, 0), (1, 2, 1), (0, 2, 2)], None);
         let input = Matrix::from_fn(3, 2, |r, c| ((r * 2 + c) as f32 * 0.37).sin());
         let res = check_gradients(
             &ps,
             |tape, store| {
                 let h = tape.leaf(input.clone());
-                let out = layer.forward(tape, store, &re, h);
+                let out = layer.forward(tape, store, &graph, h);
                 let act = tape.tanh(out);
                 let sq = tape.mul(act, act);
                 tape.mean_all(sq)

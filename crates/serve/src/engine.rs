@@ -205,14 +205,21 @@ impl InferenceEngine {
         self.stats.snapshot()
     }
 
-    /// Forward pass for one prepared subgraph — the same op sequence as
-    /// training-time [`am_dgcnn::predict_probs`], so cached and fresh
-    /// answers are bit-identical to it.
-    fn forward(&self, sample: &PreparedSample) -> ClassProbs {
+    /// Forward pass for a chunk of prepared subgraphs, packed into one
+    /// block-diagonal sparse forward ([`LinkModel::forward_batch`]). The
+    /// packed kernels are bit-identical per sample to the per-sample path,
+    /// so answers still match training-time [`am_dgcnn::predict_probs`]
+    /// bit-for-bit regardless of how queries are chunked.
+    fn forward_chunk(&self, samples: &[&PreparedSample]) -> Vec<ClassProbs> {
         let mut tape = Tape::new();
-        let logits = self.model.forward_sample(&mut tape, &self.ps, sample, None);
-        let probs = tape.softmax_rows(logits);
-        tape.value(probs).row(0).to_vec()
+        let logits = self.model.forward_batch(&mut tape, &self.ps, samples, None);
+        logits
+            .into_iter()
+            .map(|l| {
+                let probs = tape.softmax_rows(l);
+                tape.value(probs).row(0).to_vec()
+            })
+            .collect()
     }
 
     /// Fallible batch prediction: [`predict`](InferenceEngine::predict)
@@ -310,9 +317,22 @@ impl InferenceEngine {
         }
 
         // Forward pass only where no earlier batch has answered already.
+        // Chunks of subgraphs are packed block-diagonally and answered by
+        // one sparse forward each; chunks fan out across rayon.
+        const FORWARD_CHUNK: usize = 32;
         let need: Vec<&Arc<CacheEntry>> =
             entries.iter().filter(|e| e.probs.get().is_none()).collect();
-        let answers: Vec<ClassProbs> = need.par_iter().map(|e| self.forward(&e.sample)).collect();
+        let chunks: Vec<&[&Arc<CacheEntry>]> = need.chunks(FORWARD_CHUNK).collect();
+        let answers: Vec<ClassProbs> = chunks
+            .par_iter()
+            .map(|chunk| {
+                let samples: Vec<&PreparedSample> = chunk.iter().map(|e| &e.sample).collect();
+                self.forward_chunk(&samples)
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flatten()
+            .collect();
         for (e, probs) in need.into_iter().zip(answers) {
             // A concurrent batch may have raced us to the same entry; both
             // computed identical values, so losing the race is harmless.
@@ -361,9 +381,7 @@ mod tests {
                 probs: OnceLock::new(),
                 sample: PreparedSample {
                     features: amdgcnn_tensor::Matrix::zeros(1, 1),
-                    edge_index: amdgcnn_nn::EdgeIndex::from_undirected(1, &[]),
-                    gcn_adj: amdgcnn_nn::gcn::GcnAdjacency::from_edges(1, &[]),
-                    edge_attrs: None,
+                    graph: amdgcnn_nn::MessageGraph::from_undirected(1, &[]),
                     label: n,
                     num_nodes: 1,
                     num_edges: 0,
@@ -391,9 +409,7 @@ mod tests {
                 probs: OnceLock::new(),
                 sample: PreparedSample {
                     features: amdgcnn_tensor::Matrix::zeros(1, 1),
-                    edge_index: amdgcnn_nn::EdgeIndex::from_undirected(1, &[]),
-                    gcn_adj: amdgcnn_nn::gcn::GcnAdjacency::from_edges(1, &[]),
-                    edge_attrs: None,
+                    graph: amdgcnn_nn::MessageGraph::from_undirected(1, &[]),
                     label: 0,
                     num_nodes: 1,
                     num_edges: 0,

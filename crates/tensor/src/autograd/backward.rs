@@ -130,6 +130,35 @@ impl Tape {
                 Op::SpMM { adj_t, h, .. } => {
                     acc(&mut grads, h.index(), adj_t.spmm(&g));
                 }
+                Op::GSpmm { graph, w, h } => {
+                    // dW is the g-SDDMM dot of the output gradient against
+                    // the source features; dH is the transposed g-SpMM.
+                    let dw = graph.sddmm_dot(&g, self.value(*h));
+                    let dh = graph.spmm_ew_t(self.value(*w).data(), &g);
+                    acc(&mut grads, w.index(), dw);
+                    acc(&mut grads, h.index(), dh);
+                }
+                Op::GSpmmStatic { graph, w, h } => {
+                    acc(&mut grads, h.index(), graph.spmm_ew_t(w, &g));
+                }
+                Op::GSddmmAdd {
+                    graph,
+                    src,
+                    dst,
+                    edge,
+                } => {
+                    acc(&mut grads, src.index(), graph.scatter_src(&g));
+                    acc(&mut grads, dst.index(), graph.scatter_dst(&g));
+                    if let Some(e) = edge {
+                        acc(&mut grads, e.index(), g);
+                    }
+                }
+                Op::EdgeAggregate { graph, w, x } => {
+                    let dw = graph.sddmm_dot_edge(&g, self.value(*x));
+                    let dx = graph.expand_dst(self.value(*w).data(), &g);
+                    acc(&mut grads, w.index(), dw);
+                    acc(&mut grads, x.index(), dx);
+                }
                 Op::SumRows(x) => {
                     let rows = self.shape(*x).0;
                     let mut dx = Matrix::zeros(rows, g.cols());

@@ -4,7 +4,7 @@
 
 use crate::matrix::Matrix;
 use crate::param::ParamId;
-use crate::sparse::CsrMatrix;
+use crate::sparse::{CsrGraph, CsrMatrix};
 use std::sync::Arc;
 
 /// Index of a node on a [`super::tape::Tape`].
@@ -100,6 +100,40 @@ pub enum Op {
         adj_t: Arc<CsrMatrix>,
         h: Var,
     },
+    /// Edge-weighted g-SpMM `out[d] = Σ w[m]·h[src[m]]` with a *learnable*
+    /// `[M, 1]` weight column (attention coefficients). Backward: the
+    /// weight gradient is the g-SDDMM dot of the output gradient against
+    /// `h`; the feature gradient is the transposed g-SpMM.
+    GSpmm {
+        graph: Arc<CsrGraph>,
+        w: Var,
+        h: Var,
+    },
+    /// Edge-weighted g-SpMM with *fixed* per-message weights (GCN
+    /// symmetric norm, R-GCN relation masks, sum/mean reducers). Gradient
+    /// flows only to the features, via the transposed kernel.
+    GSpmmStatic {
+        graph: Arc<CsrGraph>,
+        w: Arc<Vec<f32>>,
+        h: Var,
+    },
+    /// g-SDDMM (add flavor): per-message score from `[N, 1]` endpoint
+    /// columns plus an optional `[M, 1]` message column. Backward scatters
+    /// the message gradient onto sources / destinations.
+    GSddmmAdd {
+        graph: Arc<CsrGraph>,
+        src: Var,
+        dst: Var,
+        edge: Option<Var>,
+    },
+    /// Weighted aggregation of per-message payload rows
+    /// `out[d] = Σ w[m]·x[m]` with learnable `[M, 1]` weights and
+    /// `[M, F]` payload (attended edge attributes).
+    EdgeAggregate {
+        graph: Arc<CsrGraph>,
+        w: Var,
+        x: Var,
+    },
     /// Sum over rows → `[1, C]`.
     SumRows(Var),
     /// Mean of all elements → `[1, 1]`.
@@ -173,6 +207,16 @@ impl Op {
             | Op::Reshape { src, .. }
             | Op::Dropout { src, .. } => vec![*src],
             Op::SpMM { h, .. } => vec![*h],
+            Op::GSpmm { w, h, .. } => vec![*w, *h],
+            Op::GSpmmStatic { h, .. } => vec![*h],
+            Op::GSddmmAdd { src, dst, edge, .. } => {
+                let mut p = vec![*src, *dst];
+                if let Some(e) = edge {
+                    p.push(*e);
+                }
+                p
+            }
+            Op::EdgeAggregate { w, x, .. } => vec![*w, *x],
             Op::Conv1d {
                 input,
                 weight,

@@ -10,7 +10,7 @@ use super::op::{Conv1dSpec, Op, Var};
 use crate::matmul::matmul;
 use crate::matrix::Matrix;
 use crate::param::ParamId;
-use crate::sparse::CsrMatrix;
+use crate::sparse::{CsrGraph, CsrMatrix, Reduce};
 use std::sync::Arc;
 
 /// A node's stored value: computed matrices are owned; parameter leaves
@@ -83,6 +83,17 @@ impl Tape {
         self.push(value, Op::Leaf)
     }
 
+    /// Record a constant input shared via `Arc` — no copy is made, so
+    /// per-sample payloads (expanded edge attributes) can be mounted onto
+    /// many tapes cheaply.
+    pub fn shared_leaf(&mut self, value: Arc<Matrix>) -> Var {
+        self.nodes.push(Node {
+            value: Value::Shared(value),
+            op: Op::Leaf,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
     /// Record a trainable-parameter leaf. The `Arc` is shared with the
     /// `ParamStore`, so no copy is made.
     pub fn param(&mut self, id: ParamId, value: Arc<Matrix>) -> Var {
@@ -96,6 +107,16 @@ impl Tape {
     /// `A · B`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
         let v = matmul(self.value(a), self.value(b));
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// `A · B` through the dense reference kernel
+    /// ([`crate::matmul::matmul_dense`]): no zero-skip shortcut, so the
+    /// forward cost is the full `m·n·k` FLOPs regardless of input sparsity.
+    /// Values and gradients are identical to [`Tape::matmul`] — this op
+    /// exists so dense-formulation baselines are charged their true cost.
+    pub fn matmul_dense(&mut self, a: Var, b: Var) -> Var {
+        let v = crate::matmul::matmul_dense(self.value(a), self.value(b));
         self.push(v, Op::MatMul(a, b))
     }
 
@@ -224,6 +245,96 @@ impl Tape {
         debug_assert_eq!(adj.cols(), adj_t.rows());
         let v = adj.spmm(self.value(h));
         self.push(v, Op::SpMM { adj, adj_t, h })
+    }
+
+    /// Edge-weighted g-SpMM with a learnable `[M, 1]` weight column:
+    /// `out[d] = Σ_{m ∈ in(d)} w[m] · h[src[m]]`. Gradients flow to both
+    /// the weights (g-SDDMM dot) and the features (transposed g-SpMM).
+    pub fn gspmm(&mut self, graph: Arc<CsrGraph>, w: Var, h: Var) -> Var {
+        assert_eq!(
+            self.shape(w),
+            (graph.num_messages(), 1),
+            "gspmm: weight column shape"
+        );
+        assert_eq!(
+            self.shape(h).0,
+            graph.num_nodes(),
+            "gspmm: feature row count"
+        );
+        let v = graph.spmm_ew(self.value(w).data(), self.value(h));
+        self.push(v, Op::GSpmm { graph, w, h })
+    }
+
+    /// Edge-weighted g-SpMM with fixed per-message weights; gradient flows
+    /// only to the features.
+    pub fn gspmm_static(&mut self, graph: Arc<CsrGraph>, w: Arc<Vec<f32>>, h: Var) -> Var {
+        assert_eq!(w.len(), graph.num_messages(), "gspmm_static: weight count");
+        assert_eq!(
+            self.shape(h).0,
+            graph.num_nodes(),
+            "gspmm_static: feature row count"
+        );
+        let v = graph.spmm_ew(&w, self.value(h));
+        self.push(v, Op::GSpmmStatic { graph, w, h })
+    }
+
+    /// g-SpMM with a [`Reduce`] mode: sum or in-degree mean of source
+    /// features per destination.
+    pub fn aggregate(&mut self, graph: Arc<CsrGraph>, reduce: Reduce, h: Var) -> Var {
+        let w = graph.reduce_weights(reduce);
+        self.gspmm_static(graph, w, h)
+    }
+
+    /// g-SDDMM (add flavor): per-message score
+    /// `out[m] = dst_col[dst[m]] + src_col[src[m]] (+ edge_col[m])`.
+    pub fn edge_score(
+        &mut self,
+        graph: Arc<CsrGraph>,
+        src_col: Var,
+        dst_col: Var,
+        edge_col: Option<Var>,
+    ) -> Var {
+        let n = graph.num_nodes();
+        assert_eq!(self.shape(src_col), (n, 1), "edge_score: src column");
+        assert_eq!(self.shape(dst_col), (n, 1), "edge_score: dst column");
+        if let Some(e) = edge_col {
+            assert_eq!(
+                self.shape(e),
+                (graph.num_messages(), 1),
+                "edge_score: edge column"
+            );
+        }
+        let v = graph.sddmm_add(
+            self.value(src_col),
+            self.value(dst_col),
+            edge_col.map(|e| self.value(e)),
+        );
+        self.push(
+            v,
+            Op::GSddmmAdd {
+                graph,
+                src: src_col,
+                dst: dst_col,
+                edge: edge_col,
+            },
+        )
+    }
+
+    /// Weighted aggregation of `[M, F]` per-message payload rows with a
+    /// learnable `[M, 1]` weight column: `out[d] = Σ_{m ∈ in(d)} w[m]·x[m]`.
+    pub fn edge_aggregate(&mut self, graph: Arc<CsrGraph>, w: Var, x: Var) -> Var {
+        assert_eq!(
+            self.shape(w),
+            (graph.num_messages(), 1),
+            "edge_aggregate: weight column"
+        );
+        assert_eq!(
+            self.shape(x).0,
+            graph.num_messages(),
+            "edge_aggregate: payload rows"
+        );
+        let v = graph.edge_aggregate(self.value(w).data(), self.value(x));
+        self.push(v, Op::EdgeAggregate { graph, w, x })
     }
 
     /// Sum over rows → `[1, C]`.

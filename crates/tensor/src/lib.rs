@@ -54,4 +54,4 @@ pub use autograd::{Conv1dSpec, Tape, Var};
 pub use durable::{crc32, write_atomic, DiskFault};
 pub use matrix::Matrix;
 pub use param::{GradStore, ParamId, ParamStore};
-pub use sparse::CsrMatrix;
+pub use sparse::{CsrGraph, CsrMatrix, Reduce};

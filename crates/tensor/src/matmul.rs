@@ -131,6 +131,43 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
     }
 }
 
+/// `C = A · B` through the dense reference kernel.
+///
+/// Unlike [`matmul`], no zero-entry shortcut is taken: every one of the
+/// `m·n·k` multiply-adds is performed. Numerically the result is identical
+/// to [`matmul`] (skipped terms contribute exactly `+0.0`), but the cost is
+/// the full dense FLOP count regardless of input sparsity. This is the
+/// faithful cost model for dense formulations — the dense adjacency-matmul
+/// GCN baseline the sparse kernels are benchmarked against — and the
+/// reference the g-SpMM kernels are property-tested under.
+///
+/// # Panics
+/// Panics if `A.cols() != B.rows()`.
+pub fn matmul_dense(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul_dense: inner dimension mismatch {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    if m * n * k >= PAR_FLOP_THRESHOLD {
+        out.data_mut()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, orow)| mm_row_dense(a.row(i), b, orow));
+    } else {
+        for i in 0..m {
+            let (arow, orow) = (a.row(i), row_of(&mut out, i, n));
+            mm_row_dense(arow, b, orow);
+        }
+    }
+    out
+}
+
 /// One output row of `A · B`: `orow += arow · B`.
 #[inline]
 fn mm_row(arow: &[f32], b: &Matrix, orow: &mut [f32]) {
@@ -139,6 +176,18 @@ fn mm_row(arow: &[f32], b: &Matrix, orow: &mut [f32]) {
         if av == 0.0 {
             continue; // node-feature matrices are often one-hot sparse
         }
+        let brow = b.row(p);
+        for j in 0..n {
+            orow[j] += av * brow[j];
+        }
+    }
+}
+
+/// One output row of `A · B` with no zero-skip: the dense reference path.
+#[inline]
+fn mm_row_dense(arow: &[f32], b: &Matrix, orow: &mut [f32]) {
+    let n = b.cols();
+    for (p, &av) in arow.iter().enumerate() {
         let brow = b.row(p);
         for j in 0..n {
             orow[j] += av * brow[j];
@@ -260,6 +309,27 @@ mod tests {
     #[should_panic(expected = "matmul")]
     fn dimension_mismatch_panics() {
         let _ = matmul(&Matrix::zeros(2, 3), &Matrix::zeros(4, 2));
+    }
+
+    #[test]
+    fn dense_kernel_matches_zero_skip_kernel_bitwise() {
+        // The zero-skip only ever omits exact `+0.0` terms, so both
+        // kernels must agree bit-for-bit — including on sparse inputs.
+        let mut a = random(30, 40, 18);
+        for (i, v) in a.data_mut().iter_mut().enumerate() {
+            if i % 3 != 0 {
+                *v = 0.0;
+            }
+        }
+        let b = random(40, 20, 19);
+        assert_eq!(matmul_dense(&a, &b).data(), matmul(&a, &b).data());
+    }
+
+    #[test]
+    fn dense_kernel_parallel_path_matches_reference() {
+        let a = random(80, 90, 20);
+        let b = random(90, 70, 21);
+        assert!(matmul_dense(&a, &b).max_abs_diff(&reference(&a, &b)) < 1e-3);
     }
 
     #[test]
