@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks of the numeric kernels: dense matmul (both
+//! the sequential and rayon paths), its transpose variants, and sparse
+//! SpMM — the operations dominating GNN forward/backward time.
+
+use amdgcnn_tensor::{matmul, CsrMatrix, Matrix};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn random(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.random_range(-1.0f32..1.0))
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(20);
+    for n in [32usize, 64, 128, 256] {
+        let a = random(n, n, 1);
+        let b = random(n, n, 2);
+        group.bench_with_input(BenchmarkId::new("nn", n), &n, |bench, _| {
+            bench.iter(|| black_box(matmul::matmul(&a, &b)))
+        });
+        group.bench_with_input(BenchmarkId::new("nt", n), &n, |bench, _| {
+            bench.iter(|| black_box(matmul::matmul_nt(&a, &b)))
+        });
+        group.bench_with_input(BenchmarkId::new("tn", n), &n, |bench, _| {
+            bench.iter(|| black_box(matmul::matmul_tn(&a, &b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm");
+    group.sample_size(20);
+    for &(n, deg) in &[(200usize, 8usize), (1000, 8), (1000, 32)] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let edges: Vec<(usize, usize)> = (0..n * deg / 2)
+            .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
+            .collect();
+        let adj = CsrMatrix::gcn_norm_from_edges(n, &edges);
+        let h = random(n, 32, 4);
+        group.bench_with_input(
+            BenchmarkId::new("gcn_norm", format!("n{n}_d{deg}")),
+            &n,
+            |bench, _| bench.iter(|| black_box(adj.spmm(&h))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_spmm);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benchmarks of the SEAL preprocessing path: enclosing-subgraph
+//! extraction (union vs intersection, §III-A), DRNL labeling, and full
+//! sample preparation throughput.
+
+use am_dgcnn::{prepare_sample, FeatureConfig};
+use amdgcnn_data::{primekg_like, wn18_like, PrimeKgConfig, Wn18Config};
+use amdgcnn_graph::khop::extract_enclosing_subgraph;
+use amdgcnn_graph::NeighborhoodMode;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_extraction(c: &mut Criterion) {
+    let ds = primekg_like(&PrimeKgConfig::default());
+    let link = ds.train[0];
+    let mut group = c.benchmark_group("subgraph_extraction");
+    group.sample_size(30);
+    for mode in [NeighborhoodMode::Intersection, NeighborhoodMode::Union] {
+        let cfg = amdgcnn_graph::SubgraphConfig {
+            mode,
+            ..ds.subgraph
+        };
+        group.bench_function(format!("primekg_{mode:?}"), |b| {
+            b.iter(|| black_box(extract_enclosing_subgraph(&ds.graph, link.u, link.v, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sample_prep(c: &mut Criterion) {
+    let wn = wn18_like(&Wn18Config::default());
+    let fcfg = FeatureConfig::for_graph(wn.graph.num_node_types());
+    let link = wn.train[0];
+    let mut group = c.benchmark_group("sample_preparation");
+    group.sample_size(30);
+    group.bench_function("wn18_full_sample", |b| {
+        b.iter(|| black_box(prepare_sample(&wn, &link, &fcfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction, bench_sample_prep);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion benchmarks of training throughput: one (AM-)DGCNN gradient
+//! step over a small batch, and the rayon scaling of the batch-parallel
+//! gradient computation (1 worker vs all workers).
+
+use am_dgcnn::{
+    prepare_batch, DgcnnModel, FeatureConfig, GnnKind, ModelConfig, TrainConfig, Trainer,
+};
+use amdgcnn_data::{wn18_like, Wn18Config};
+use amdgcnn_tensor::ParamStore;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use std::hint::black_box;
+
+fn setup() -> (DgcnnModel, ParamStore, Vec<am_dgcnn::PreparedSample>) {
+    let ds = wn18_like(&Wn18Config {
+        num_nodes: 800,
+        num_edges: 3200,
+        train_links: 64,
+        test_links: 20,
+        ..Default::default()
+    });
+    let fcfg = FeatureConfig::for_graph(ds.graph.num_node_types());
+    let mut cfg = ModelConfig::dgcnn_defaults(
+        GnnKind::am_dgcnn(),
+        fcfg.dim(),
+        ds.edge_attrs.dim(),
+        ds.num_classes,
+    );
+    cfg.sort_k = 20;
+    let mut ps = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = DgcnnModel::new(cfg, &mut ps, &mut rng);
+    let samples = prepare_batch(&ds, &ds.train, &fcfg);
+    (model, ps, samples)
+}
+
+fn bench_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training");
+    group.sample_size(10);
+    group.bench_function("am_dgcnn_one_epoch_64_samples", |b| {
+        b.iter_batched(
+            setup,
+            |(model, mut ps, samples)| {
+                let mut trainer = Trainer::new(TrainConfig {
+                    lr: 5e-3,
+                    ..Default::default()
+                });
+                trainer.train(&model, &mut ps, &samples, 1).expect("train");
+                black_box(trainer.history.last().map(|e| e.loss))
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    // Rayon scaling: identical epoch under a single-thread pool.
+    group.bench_function("am_dgcnn_one_epoch_64_samples_1thread", |b| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("pool");
+        b.iter_batched(
+            setup,
+            |(model, mut ps, samples)| {
+                pool.install(|| {
+                    let mut trainer = Trainer::new(TrainConfig {
+                        lr: 5e-3,
+                        ..Default::default()
+                    });
+                    trainer.train(&model, &mut ps, &samples, 1).expect("train");
+                    black_box(trainer.history.last().map(|e| e.loss))
+                })
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_epoch);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! **Ablation A5** (§III-B): the paper drops node2vec embeddings from the
+//! SEAL node-attribute vector after observing no accuracy gain on
+//! knowledge graphs. This binary reproduces that observation: AM-DGCNN on
+//! the PrimeKG-like dataset with and without a node2vec block.
+//!
+//! ```text
+//! cargo run -p amdgcnn-bench --release --bin ablation_node2vec [fast]
+//! ```
+
+use am_dgcnn::{
+    evaluate_model, prepare_batch, DgcnnModel, EvalMetrics, FeatureConfig, GnnKind, ModelConfig,
+    TrainConfig, Trainer,
+};
+use amdgcnn_bench::runner::load_dataset;
+use amdgcnn_bench::{runner::emit_json, Bench};
+use amdgcnn_graph::node2vec::{node2vec_embeddings, Node2VecConfig};
+use amdgcnn_graph::walks::WalkConfig;
+use amdgcnn_tensor::ParamStore;
+use rand::{rngs::StdRng, SeedableRng};
+use serde::Serialize;
+use std::sync::Arc;
+
+#[derive(Serialize)]
+struct Row {
+    variant: String,
+    feature_dim: usize,
+    metrics: EvalMetrics,
+}
+
+fn run_variant(ds: &amdgcnn_data::Dataset, fcfg: &FeatureConfig, epochs: usize) -> EvalMetrics {
+    let mut cfg = ModelConfig::dgcnn_defaults(
+        GnnKind::am_dgcnn(),
+        fcfg.dim(),
+        ds.edge_attrs.dim(),
+        ds.num_classes,
+    );
+    cfg.sort_k = 40;
+    let mut ps = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(0xa5);
+    let model = DgcnnModel::new(cfg, &mut ps, &mut rng);
+    let train = prepare_batch(ds, &ds.train, fcfg);
+    let test = prepare_batch(ds, &ds.test, fcfg);
+    let mut trainer = Trainer::new(TrainConfig {
+        lr: 4e-3,
+        seed: 0xa5,
+        ..Default::default()
+    });
+    trainer
+        .train(&model, &mut ps, &train, epochs)
+        .expect("train");
+    evaluate_model(&model, &ps, &test)
+}
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "fast");
+    let epochs = if fast { 4 } else { 10 };
+    let ds = load_dataset(Bench::PrimeKg);
+
+    println!("node2vec feature ablation on primekg-like ({epochs} epochs)");
+    let mut rows = Vec::new();
+
+    let plain = FeatureConfig::for_graph(ds.graph.num_node_types());
+    let m = run_variant(&ds, &plain, epochs);
+    println!(
+        "without node2vec (dim {:>3}): auc {:.3}  ap {:.3}",
+        plain.dim(),
+        m.auc,
+        m.ap
+    );
+    rows.push(Row {
+        variant: "without-node2vec".into(),
+        feature_dim: plain.dim(),
+        metrics: m,
+    });
+
+    eprintln!("training node2vec embeddings over the whole graph...");
+    let embeddings = node2vec_embeddings(
+        &ds.graph,
+        &Node2VecConfig {
+            dims: 16,
+            epochs: if fast { 1 } else { 2 },
+            walk: WalkConfig {
+                walk_length: 10,
+                walks_per_node: 2,
+                seed: 0xa5,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let with = FeatureConfig {
+        node2vec: Some(Arc::new(embeddings)),
+        ..plain.clone()
+    };
+    let m = run_variant(&ds, &with, epochs);
+    println!(
+        "with    node2vec (dim {:>3}): auc {:.3}  ap {:.3}",
+        with.dim(),
+        m.auc,
+        m.ap
+    );
+    rows.push(Row {
+        variant: "with-node2vec".into(),
+        feature_dim: with.dim(),
+        metrics: m,
+    });
+
+    emit_json("ablation_node2vec", &rows);
+    println!("\nPaper §III-B: node2vec does not improve knowledge-graph accuracy; the\nDRNL + node-type features already carry the usable signal.");
+}

@@ -1,0 +1,100 @@
+//! **Baseline A3** (§VI-A context): classical link-prediction heuristics
+//! (common neighbors, Jaccard, Adamic–Adar, resource allocation,
+//! preferential attachment, Katz, personalized PageRank) scored as AUC on
+//! the Cora-like binary link-prediction test split, next to the two GNNs.
+//!
+//! ```text
+//! cargo run -p amdgcnn-bench --release --bin baseline_heuristics [fast]
+//! ```
+
+use am_dgcnn::metrics::roc_auc;
+use am_dgcnn::{Experiment, GnnKind};
+use amdgcnn_bench::runner::{am_dgcnn_for, emit_json, load_dataset};
+use amdgcnn_bench::{tuned_hyper, Bench};
+use amdgcnn_graph::heuristics::Heuristic;
+use amdgcnn_graph::katz::{katz_score, KatzConfig};
+use amdgcnn_graph::pagerank::{pagerank_score, PageRankConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct BaselineRow {
+    method: String,
+    auc: f64,
+}
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "fast");
+    let ds = load_dataset(Bench::Cora);
+    // Heuristics are evaluated on a subsample when `fast` (PPR is a full
+    // power iteration per endpoint).
+    let test: Vec<_> = if fast {
+        ds.test.iter().take(120).cloned().collect()
+    } else {
+        ds.test.clone()
+    };
+    let labels: Vec<bool> = test.iter().map(|l| l.class == 1).collect();
+    let mut rows = Vec::new();
+
+    println!("Classical heuristics vs supervised heuristic learning on cora-like");
+    for h in Heuristic::ALL {
+        let scores: Vec<f32> = test
+            .iter()
+            .map(|l| h.score(&ds.graph, l.u, l.v) as f32)
+            .collect();
+        let auc = roc_auc(&scores, &labels);
+        println!("{:<26} auc {:.3}", h.name(), auc);
+        rows.push(BaselineRow {
+            method: h.name().to_string(),
+            auc,
+        });
+    }
+    let katz_cfg = KatzConfig::default();
+    let scores: Vec<f32> = test
+        .iter()
+        .map(|l| katz_score(&ds.graph, l.u, l.v, &katz_cfg) as f32)
+        .collect();
+    let auc = roc_auc(&scores, &labels);
+    println!("{:<26} auc {:.3}", "katz", auc);
+    rows.push(BaselineRow {
+        method: "katz".into(),
+        auc,
+    });
+
+    let pr_cfg = PageRankConfig {
+        max_iters: 30,
+        ..Default::default()
+    };
+    let ppr_sample: Vec<_> = test.iter().take(if fast { 60 } else { 200 }).collect();
+    let ppr_labels: Vec<bool> = ppr_sample.iter().map(|l| l.class == 1).collect();
+    let scores: Vec<f32> = ppr_sample
+        .iter()
+        .map(|l| pagerank_score(&ds.graph, l.u, l.v, &pr_cfg) as f32)
+        .collect();
+    let auc = roc_auc(&scores, &ppr_labels);
+    println!(
+        "{:<26} auc {:.3} (on {} pairs)",
+        "personalized-pagerank",
+        auc,
+        ppr_sample.len()
+    );
+    rows.push(BaselineRow {
+        method: "personalized-pagerank".into(),
+        auc,
+    });
+
+    let epochs = if fast { 3 } else { 10 };
+    for (name, gnn) in [
+        ("am-dgcnn", am_dgcnn_for(&ds)),
+        ("vanilla-dgcnn", GnnKind::Gcn),
+    ] {
+        let m = Experiment::new(gnn, tuned_hyper(Bench::Cora), 0xba5e)
+            .run(&ds, epochs)
+            .expect("run");
+        println!("{name:<26} auc {:.3}", m.auc);
+        rows.push(BaselineRow {
+            method: name.into(),
+            auc: m.auc,
+        });
+    }
+    emit_json("baseline_heuristics", &rows);
+}

@@ -1,0 +1,86 @@
+//! **Baseline A4** (§VI-B): the Weisfeiler-Lehman Neural Machine — the
+//! supervised-heuristic-learning predecessor of SEAL — against both DGCNN
+//! variants, illustrating the progression WLNM → DGCNN → AM-DGCNN the
+//! paper's related-work section describes.
+//!
+//! ```text
+//! cargo run -p amdgcnn-bench --release --bin baseline_wlnm [fast]
+//! ```
+
+use am_dgcnn::{
+    evaluate_model, prepare_batch, EvalMetrics, Experiment, FeatureConfig, GnnKind, TrainConfig,
+    Trainer, WlnmConfig, WlnmModel,
+};
+use amdgcnn_bench::runner::{am_dgcnn_for, emit_json, load_dataset};
+use amdgcnn_bench::{tuned_hyper, Bench};
+use amdgcnn_tensor::ParamStore;
+use rand::{rngs::StdRng, SeedableRng};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    model: String,
+    metrics: EvalMetrics,
+}
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "fast");
+    let epochs = if fast { 4 } else { 10 };
+    let mut rows = Vec::new();
+    println!("WLNM vs DGCNN vs AM-DGCNN ({epochs} epochs)");
+    println!(
+        "{:<14} {:<16} {:>8} {:>8} {:>8}",
+        "Dataset", "Model", "AUC", "AP", "Acc"
+    );
+
+    for bench in [Bench::Cora, Bench::PrimeKg] {
+        let ds = load_dataset(bench);
+
+        // WLNM: fixed-size WL-ordered adjacency + MLP.
+        let fcfg = FeatureConfig::for_graph(ds.graph.num_node_types());
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0x317);
+        let wlnm = WlnmModel::new(WlnmConfig::defaults(ds.num_classes), &mut ps, &mut rng);
+        let train = prepare_batch(&ds, &ds.train, &fcfg);
+        let test = prepare_batch(&ds, &ds.test, &fcfg);
+        let mut trainer = Trainer::new(TrainConfig {
+            lr: 3e-3,
+            seed: 0x317,
+            ..Default::default()
+        });
+        trainer
+            .train(&wlnm, &mut ps, &train, epochs)
+            .expect("train");
+        let m = evaluate_model(&wlnm, &ps, &test);
+        println!(
+            "{:<14} {:<16} {:>8.3} {:>8.3} {:>8.3}",
+            ds.name, "wlnm", m.auc, m.ap, m.accuracy
+        );
+        rows.push(Row {
+            dataset: ds.name.into(),
+            model: "wlnm".into(),
+            metrics: m,
+        });
+
+        for gnn in [GnnKind::Gcn, am_dgcnn_for(&ds)] {
+            let m = Experiment::new(gnn, tuned_hyper(bench), 0x317)
+                .run(&ds, epochs)
+                .expect("run");
+            println!(
+                "{:<14} {:<16} {:>8.3} {:>8.3} {:>8.3}",
+                ds.name,
+                gnn.name(),
+                m.auc,
+                m.ap,
+                m.accuracy
+            );
+            rows.push(Row {
+                dataset: ds.name.into(),
+                model: gnn.name().into(),
+                metrics: m,
+            });
+        }
+    }
+    emit_json("baseline_wlnm", &rows);
+}

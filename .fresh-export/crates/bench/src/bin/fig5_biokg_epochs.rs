@@ -1,0 +1,14 @@
+//! Regenerates **Fig. 5** (epochs → AUC for OGBL-BioKG; panels (a) default
+//! and (b) auto-tuned hyperparameters).
+//!
+//! ```text
+//! cargo run -p amdgcnn-bench --release --bin fig5_biokg_epochs [fast]
+//! ```
+
+use amdgcnn_bench::runner::run_epoch_figure;
+use amdgcnn_bench::Bench;
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "fast");
+    run_epoch_figure(Bench::BioKg, "fig5", fast);
+}

@@ -1,0 +1,14 @@
+//! Regenerates **Fig. 6** (epochs → AUC for WordNet-18; panels (a) default
+//! and (b) auto-tuned hyperparameters).
+//!
+//! ```text
+//! cargo run -p amdgcnn-bench --release --bin fig6_wn18_epochs [fast]
+//! ```
+
+use amdgcnn_bench::runner::run_epoch_figure;
+use amdgcnn_bench::Bench;
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "fast");
+    run_epoch_figure(Bench::Wn18, "fig6", fast);
+}

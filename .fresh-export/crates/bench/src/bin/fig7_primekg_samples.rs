@@ -1,0 +1,14 @@
+//! Regenerates **Fig. 7** (training samples → AUC for PrimeKG; panels (a)
+//! default and (b) auto-tuned hyperparameters; 10 training epochs).
+//!
+//! ```text
+//! cargo run -p amdgcnn-bench --release --bin fig7_primekg_samples [fast]
+//! ```
+
+use amdgcnn_bench::runner::run_sample_figure;
+use amdgcnn_bench::Bench;
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "fast");
+    run_sample_figure(Bench::PrimeKg, "fig7", fast);
+}

@@ -1,0 +1,41 @@
+//! End-to-end per-stage timing report.
+//!
+//! ```text
+//! cargo run --release -p amdgcnn-bench --bin obs_report [-- out.json]
+//! ```
+//!
+//! Runs the full pipeline lifecycle (sampling, training with
+//! checkpointing, resume, evaluation, batched serving) on a tiny graph
+//! with one shared observability registry, prints the span table, writes
+//! the report JSON to the given path (or `AMDGCNN_TIMING_OUT`, or
+//! `timing-report.json`), and fails if any tentpole stage is missing.
+
+use amdgcnn_bench::obs_report::{
+    obs_smoke_report, timing_out_from_env, write_timing_report, TENTPOLE_SPANS,
+};
+use std::path::{Path, PathBuf};
+
+fn main() {
+    let out: PathBuf = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .or_else(timing_out_from_env)
+        .unwrap_or_else(|| PathBuf::from("timing-report.json"));
+    let scratch = std::env::temp_dir().join(format!("amdgcnn-obs-report-{}", std::process::id()));
+    let report = obs_smoke_report(&scratch);
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    println!("{}", report.format_spans());
+    write_timing_report(Path::new(&out), &report).expect("write timing report");
+    println!("wrote {}", out.display());
+
+    let missing: Vec<&str> = TENTPOLE_SPANS
+        .iter()
+        .copied()
+        .filter(|s| report.span(s).is_none())
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "stages missing from the timing report: {missing:?}"
+    );
+}

@@ -1,0 +1,20 @@
+//! Regenerates **Table II** (dataset summary): node/edge type counts, node
+//! and edge counts, class counts and split sizes for all four synthetic
+//! benchmark datasets.
+//!
+//! ```text
+//! cargo run -p amdgcnn-bench --release --bin table2_datasets
+//! ```
+
+use amdgcnn_bench::{load_dataset, runner::emit_json, Bench};
+use amdgcnn_data::{dataset_stats, format_table};
+
+fn main() {
+    let rows: Vec<_> = [Bench::PrimeKg, Bench::BioKg, Bench::Wn18, Bench::Cora]
+        .into_iter()
+        .map(|b| dataset_stats(&load_dataset(b)))
+        .collect();
+    println!("Table II — Summary of datasets (synthetic stand-ins; see DESIGN.md for scaling)");
+    println!("{}", format_table(&rows));
+    emit_json("table2", &rows);
+}

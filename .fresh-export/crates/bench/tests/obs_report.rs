@@ -1,0 +1,49 @@
+//! Acceptance: one end-to-end bench run records every tentpole pipeline
+//! stage as a named span, and the timing report survives the JSON
+//! round-trip CI relies on.
+
+use amdgcnn_bench::obs_report::{obs_smoke_report, write_timing_report, TENTPOLE_SPANS};
+use amdgcnn_obs::Report;
+
+#[test]
+fn smoke_report_covers_every_tentpole_stage() {
+    let scratch = std::env::temp_dir().join(format!("amdgcnn-obs-accept-{}", std::process::id()));
+    let report = obs_smoke_report(&scratch);
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    for span in TENTPOLE_SPANS {
+        let s = report
+            .span(span)
+            .unwrap_or_else(|| panic!("span {span} missing from the report"));
+        assert!(s.count > 0, "span {span} recorded no observations");
+        assert!(
+            s.max_ns >= s.p50_ns,
+            "span {span} has inconsistent quantiles"
+        );
+    }
+
+    // Counters and events flowed into the same registry.
+    assert!(
+        report.counter("serve/queries").unwrap_or(0) > 0,
+        "serving queries did not reach the shared registry"
+    );
+    assert!(
+        report
+            .events
+            .iter()
+            .any(|e| e.name == "pipeline/checkpoint/restore"),
+        "resume did not log a restore event"
+    );
+
+    // The JSON the CI artifact is built from parses back losslessly.
+    let parsed = Report::from_json(&report.to_json()).expect("report JSON parses");
+    assert_eq!(parsed, report);
+
+    // write_timing_report produces a parseable file.
+    let out = std::env::temp_dir().join(format!("amdgcnn-timing-{}.json", std::process::id()));
+    write_timing_report(&out, &report).expect("write timing report");
+    let text = std::fs::read_to_string(&out).expect("read timing report back");
+    std::fs::remove_file(&out).ok();
+    let from_file = Report::from_json(text.trim()).expect("file JSON parses");
+    assert_eq!(from_file.spans.len(), report.spans.len());
+}

@@ -1,0 +1,361 @@
+//! Prediction-accuracy metrics (paper §V-A): ROC-AUC and the paper's
+//! Average Precision (macro-averaged per-class precision), plus accuracy
+//! and confusion matrices.
+
+use amdgcnn_tensor::Matrix;
+
+/// Binary ROC-AUC from scores via the rank statistic (tie-aware: tied
+/// scores receive their average rank). Returns 0.5 when either class is
+/// absent.
+pub fn roc_auc(scores: &[f32], positive: &[bool]) -> f64 {
+    assert_eq!(scores.len(), positive.len(), "roc_auc: length mismatch");
+    let n_pos = positive.iter().filter(|&&p| p).count();
+    let n_neg = positive.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    // Average ranks over tie groups, accumulate positive ranks.
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        // Ranks are 1-based: items i..=j share the average rank.
+        let avg_rank = (i + 1 + j + 1) as f64 / 2.0;
+        for &idx in &order[i..=j] {
+            if positive[idx] {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    (rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0) / (n_pos * n_neg) as f64
+}
+
+/// One-vs-rest AUC for a single class: the score is the predicted
+/// probability of `class`, positives are samples labeled `class`.
+pub fn auc_one_vs_rest(probs: &Matrix, labels: &[usize], class: usize) -> f64 {
+    assert_eq!(probs.rows(), labels.len(), "auc: row/label mismatch");
+    let scores: Vec<f32> = (0..probs.rows()).map(|r| probs.get(r, class)).collect();
+    let positive: Vec<bool> = labels.iter().map(|&l| l == class).collect();
+    roc_auc(&scores, &positive)
+}
+
+/// Macro AUC: mean one-vs-rest AUC over every class present in `labels`.
+/// (The paper picks one random class as positive; averaging over all of
+/// them is the deterministic, lower-variance equivalent.)
+pub fn macro_auc(probs: &Matrix, labels: &[usize]) -> f64 {
+    let mut present: Vec<usize> = labels.to_vec();
+    present.sort_unstable();
+    present.dedup();
+    if present.is_empty() {
+        return 0.5;
+    }
+    let sum: f64 = present
+        .iter()
+        .map(|&c| auc_one_vs_rest(probs, labels, c))
+        .sum();
+    sum / present.len() as f64
+}
+
+/// Argmax predictions per row.
+pub fn argmax_predictions(probs: &Matrix) -> Vec<usize> {
+    (0..probs.rows()).map(|r| probs.argmax_row(r)).collect()
+}
+
+/// Confusion matrix `[true class][predicted class]`.
+pub fn confusion_matrix(preds: &[usize], labels: &[usize], num_classes: usize) -> Vec<Vec<usize>> {
+    assert_eq!(preds.len(), labels.len());
+    let mut m = vec![vec![0usize; num_classes]; num_classes];
+    for (&p, &l) in preds.iter().zip(labels.iter()) {
+        m[l][p] += 1;
+    }
+    m
+}
+
+/// The paper's Average Precision (§V-A): per-class precision
+/// `TP/(TP+FP)` treating that class as positive, averaged over classes
+/// that occur in the labels. Classes never predicted contribute 0
+/// precision.
+pub fn average_precision(preds: &[usize], labels: &[usize], num_classes: usize) -> f64 {
+    let cm = confusion_matrix(preds, labels, num_classes);
+    let mut total = 0.0f64;
+    let mut counted = 0usize;
+    for (c, row) in cm.iter().enumerate() {
+        let support: usize = row.iter().sum();
+        if support == 0 {
+            continue; // class absent from the labels
+        }
+        counted += 1;
+        let tp = row[c];
+        let predicted: usize = cm.iter().map(|l| l[c]).sum();
+        if predicted > 0 {
+            total += tp as f64 / predicted as f64;
+        }
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+/// Plain accuracy.
+pub fn accuracy(preds: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(preds.len(), labels.len());
+    if preds.is_empty() {
+        return 0.0;
+    }
+    let correct = preds
+        .iter()
+        .zip(labels.iter())
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f64 / preds.len() as f64
+}
+
+/// ROC curve points `(fpr, tpr)` sorted by threshold (descending scores),
+/// suitable for plotting; includes the (0,0) and (1,1) endpoints.
+pub fn roc_curve(scores: &[f32], positive: &[bool]) -> Vec<(f64, f64)> {
+    let n_pos = positive.iter().filter(|&&p| p).count();
+    let n_neg = positive.len() - n_pos;
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut pts = vec![(0.0, 0.0)];
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        for &idx in &order[i..=j] {
+            if positive[idx] {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+        }
+        pts.push((
+            if n_neg == 0 {
+                0.0
+            } else {
+                fp as f64 / n_neg as f64
+            },
+            if n_pos == 0 {
+                0.0
+            } else {
+                tp as f64 / n_pos as f64
+            },
+        ));
+        i = j + 1;
+    }
+    if *pts.last().expect("nonempty") != (1.0, 1.0) {
+        pts.push((1.0, 1.0));
+    }
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_gives_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let pos = [true, true, false, false];
+        assert_eq!(roc_auc(&scores, &pos), 1.0);
+        assert_eq!(roc_auc(&scores, &[false, false, true, true]), 0.0);
+    }
+
+    #[test]
+    fn interleaving_counts_pairwise_wins() {
+        // Positives {0.1, 0.3} vs negatives {0.2, 0.4}: only the (0.3, 0.2)
+        // pair is won → AUC = 1/4.
+        let scores = [0.1, 0.2, 0.3, 0.4];
+        let pos = [true, false, true, false];
+        assert_eq!(roc_auc(&scores, &pos), 0.25);
+        // Perfect alternation of equal-scored groups is symmetric.
+        let scores = [0.1, 0.1, 0.4, 0.4];
+        let pos = [true, false, true, false];
+        assert_eq!(roc_auc(&scores, &pos), 0.5);
+    }
+
+    #[test]
+    fn ties_get_average_rank() {
+        // All scores equal → AUC must be exactly 0.5 regardless of labels.
+        let scores = [0.5; 6];
+        let pos = [true, true, false, false, true, false];
+        assert_eq!(roc_auc(&scores, &pos), 0.5);
+    }
+
+    #[test]
+    fn hand_computed_auc() {
+        // scores: pos {0.8, 0.4}, neg {0.6, 0.2}: pairs won = (0.8>0.6),
+        // (0.8>0.2), (0.4<0.6 lose), (0.4>0.2) → 3/4.
+        let scores = [0.8, 0.4, 0.6, 0.2];
+        let pos = [true, true, false, false];
+        assert!((roc_auc(&scores, &pos) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_class_returns_half() {
+        assert_eq!(roc_auc(&[0.1, 0.9], &[true, true]), 0.5);
+        assert_eq!(roc_auc(&[], &[]), 0.5);
+    }
+
+    #[test]
+    fn one_vs_rest_uses_class_column() {
+        let probs = Matrix::from_vec(3, 2, vec![0.9, 0.1, 0.2, 0.8, 0.7, 0.3]);
+        let labels = [0usize, 1, 0];
+        assert_eq!(auc_one_vs_rest(&probs, &labels, 0), 1.0);
+        assert_eq!(auc_one_vs_rest(&probs, &labels, 1), 1.0);
+    }
+
+    #[test]
+    fn macro_auc_averages_present_classes() {
+        // Class 2 absent: macro over classes 0 and 1 only.
+        let probs = Matrix::from_vec(
+            4,
+            3,
+            vec![
+                0.8, 0.1, 0.1, //
+                0.1, 0.8, 0.1, //
+                0.7, 0.2, 0.1, //
+                0.2, 0.7, 0.1,
+            ],
+        );
+        let labels = [0usize, 1, 0, 1];
+        assert_eq!(macro_auc(&probs, &labels), 1.0);
+    }
+
+    #[test]
+    fn confusion_and_accuracy() {
+        let preds = [0usize, 1, 1, 2, 0];
+        let labels = [0usize, 1, 2, 2, 1];
+        let cm = confusion_matrix(&preds, &labels, 3);
+        assert_eq!(cm[0][0], 1);
+        assert_eq!(cm[1][1], 1);
+        assert_eq!(cm[2][1], 1);
+        assert_eq!(cm[2][2], 1);
+        assert_eq!(cm[1][0], 1);
+        assert!((accuracy(&preds, &labels) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_precision_hand_example() {
+        // Class 0: predicted {0,0} with one TP → precision 1/2.
+        // Class 1: predicted {1} with one TP → precision 1.
+        let preds = [0usize, 0, 1];
+        let labels = [0usize, 1, 1];
+        let ap = average_precision(&preds, &labels, 2);
+        assert!((ap - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_precision_ignores_absent_classes() {
+        let preds = [0usize, 0];
+        let labels = [0usize, 0];
+        assert_eq!(average_precision(&preds, &labels, 5), 1.0);
+    }
+
+    #[test]
+    fn never_predicted_class_scores_zero_precision() {
+        // Class 1 occurs but is never predicted → contributes 0.
+        let preds = [0usize, 0];
+        let labels = [0usize, 1];
+        assert!((average_precision(&preds, &labels, 2) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "roc_auc: length mismatch")]
+    fn roc_auc_length_mismatch_panics() {
+        let _ = roc_auc(&[0.1, 0.2, 0.3], &[true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "auc: row/label mismatch")]
+    fn one_vs_rest_row_label_mismatch_panics() {
+        let probs = Matrix::from_vec(2, 2, vec![0.9, 0.1, 0.2, 0.8]);
+        let _ = auc_one_vs_rest(&probs, &[0usize, 1, 0], 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn confusion_matrix_length_mismatch_panics() {
+        let _ = confusion_matrix(&[0usize, 1], &[0usize], 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn average_precision_length_mismatch_panics() {
+        // The macro-averaged precision path goes through the confusion
+        // matrix, which rejects mismatched inputs.
+        let _ = average_precision(&[0usize, 1, 0], &[0usize, 1], 2);
+    }
+
+    #[test]
+    fn all_tied_scores_give_half_everywhere() {
+        // Every score identical: no ranking information, AUC is exactly
+        // 0.5 through the single-class, one-vs-rest, and macro paths.
+        let probs = Matrix::from_vec(4, 2, vec![0.5; 8]);
+        let labels = [0usize, 1, 0, 1];
+        assert_eq!(auc_one_vs_rest(&probs, &labels, 0), 0.5);
+        assert_eq!(auc_one_vs_rest(&probs, &labels, 1), 0.5);
+        assert_eq!(macro_auc(&probs, &labels), 0.5);
+    }
+
+    #[test]
+    fn single_class_input_returns_half() {
+        // Only one class present: one-vs-rest has no negatives, so every
+        // per-class AUC degenerates to 0.5 and so does the macro average.
+        let probs = Matrix::from_vec(3, 2, vec![0.9, 0.1, 0.8, 0.2, 0.7, 0.3]);
+        let labels = [0usize, 0, 0];
+        assert_eq!(auc_one_vs_rest(&probs, &labels, 0), 0.5);
+        assert_eq!(macro_auc(&probs, &labels), 0.5);
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        let probs = Matrix::zeros(0, 2);
+        assert_eq!(macro_auc(&probs, &[]), 0.5);
+        assert_eq!(average_precision(&[], &[], 2), 0.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn roc_curve_endpoints_and_monotonicity() {
+        let scores = [0.9, 0.7, 0.6, 0.3, 0.2];
+        let pos = [true, false, true, false, true];
+        let pts = roc_curve(&scores, &pos);
+        assert_eq!(*pts.first().expect("first"), (0.0, 0.0));
+        assert_eq!(*pts.last().expect("last"), (1.0, 1.0));
+        for w in pts.windows(2) {
+            assert!(w[1].0 >= w[0].0 && w[1].1 >= w[0].1, "ROC must be monotone");
+        }
+    }
+
+    #[test]
+    fn auc_matches_trapezoid_under_roc_curve() {
+        let scores = [0.9, 0.8, 0.75, 0.5, 0.4, 0.3, 0.1];
+        let pos = [true, false, true, true, false, true, false];
+        let pts = roc_curve(&scores, &pos);
+        let mut area = 0.0;
+        for w in pts.windows(2) {
+            area += (w[1].0 - w[0].0) * (w[1].1 + w[0].1) / 2.0;
+        }
+        assert!((area - roc_auc(&scores, &pos)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,166 @@
+//! Learning-rate schedules and early stopping — training conveniences
+//! layered over [`crate::train::Trainer`].
+
+/// Learning-rate schedule evaluated per epoch (1-based).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant,
+    /// Multiply by `gamma` every `every` epochs.
+    StepDecay {
+        /// Epoch interval between decays.
+        every: usize,
+        /// Multiplicative factor per decay.
+        gamma: f32,
+    },
+    /// Cosine annealing from the base rate to `min_lr` over `total` epochs.
+    Cosine {
+        /// Horizon of the anneal.
+        total: usize,
+        /// Floor learning rate.
+        min_lr: f32,
+    },
+    /// Linear warmup over `warmup` epochs, then constant.
+    Warmup {
+        /// Warmup length in epochs.
+        warmup: usize,
+    },
+}
+
+impl LrSchedule {
+    /// Learning rate for `epoch` (1-based) given the base rate.
+    pub fn lr_at(&self, base: f32, epoch: usize) -> f32 {
+        assert!(epoch >= 1, "epochs are 1-based");
+        match *self {
+            LrSchedule::Constant => base,
+            LrSchedule::StepDecay { every, gamma } => {
+                let decays = (epoch - 1) / every.max(1);
+                base * gamma.powi(decays as i32)
+            }
+            LrSchedule::Cosine { total, min_lr } => {
+                let t = ((epoch - 1) as f32 / total.max(1) as f32).min(1.0);
+                min_lr + 0.5 * (base - min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+            LrSchedule::Warmup { warmup } => {
+                if epoch <= warmup {
+                    base * epoch as f32 / warmup.max(1) as f32
+                } else {
+                    base
+                }
+            }
+        }
+    }
+}
+
+/// Early stopping on a monitored metric (higher = better): trips after
+/// `patience` consecutive epochs without an improvement of at least
+/// `min_delta`.
+#[derive(Debug, Clone)]
+pub struct EarlyStopping {
+    /// Epochs tolerated without improvement.
+    pub patience: usize,
+    /// Minimum improvement counted as progress.
+    pub min_delta: f64,
+    best: f64,
+    stale: usize,
+}
+
+impl EarlyStopping {
+    /// Fresh monitor.
+    pub fn new(patience: usize, min_delta: f64) -> Self {
+        Self {
+            patience,
+            min_delta,
+            best: f64::NEG_INFINITY,
+            stale: 0,
+        }
+    }
+
+    /// Record an epoch's metric; returns `true` when training should stop.
+    pub fn update(&mut self, metric: f64) -> bool {
+        if metric > self.best + self.min_delta {
+            self.best = metric;
+            self.stale = 0;
+        } else {
+            self.stale += 1;
+        }
+        self.stale >= self.patience
+    }
+
+    /// Best metric seen so far.
+    pub fn best(&self) -> f64 {
+        self.best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        for e in 1..20 {
+            assert_eq!(LrSchedule::Constant.lr_at(0.01, e), 0.01);
+        }
+    }
+
+    #[test]
+    fn step_decay_halves_on_schedule() {
+        let s = LrSchedule::StepDecay {
+            every: 3,
+            gamma: 0.5,
+        };
+        assert_eq!(s.lr_at(0.8, 1), 0.8);
+        assert_eq!(s.lr_at(0.8, 3), 0.8);
+        assert_eq!(s.lr_at(0.8, 4), 0.4);
+        assert_eq!(s.lr_at(0.8, 7), 0.2);
+    }
+
+    #[test]
+    fn cosine_descends_to_floor() {
+        let s = LrSchedule::Cosine {
+            total: 10,
+            min_lr: 1e-4,
+        };
+        let start = s.lr_at(0.01, 1);
+        let mid = s.lr_at(0.01, 6);
+        let end = s.lr_at(0.01, 11);
+        assert!((start - 0.01).abs() < 1e-6);
+        assert!(mid < start && mid > end);
+        assert!((end - 1e-4).abs() < 1e-6);
+        // Monotone non-increasing across the horizon.
+        let mut prev = f32::INFINITY;
+        for e in 1..=11 {
+            let lr = s.lr_at(0.01, e);
+            assert!(lr <= prev + 1e-9);
+            prev = lr;
+        }
+    }
+
+    #[test]
+    fn warmup_ramps_then_holds() {
+        let s = LrSchedule::Warmup { warmup: 4 };
+        assert!((s.lr_at(0.02, 1) - 0.005).abs() < 1e-7);
+        assert!((s.lr_at(0.02, 2) - 0.01).abs() < 1e-7);
+        assert_eq!(s.lr_at(0.02, 4), 0.02);
+        assert_eq!(s.lr_at(0.02, 9), 0.02);
+    }
+
+    #[test]
+    fn early_stopping_trips_after_patience() {
+        let mut es = EarlyStopping::new(2, 0.0);
+        assert!(!es.update(0.5));
+        assert!(!es.update(0.6)); // improvement resets
+        assert!(!es.update(0.6)); // stale 1
+        assert!(es.update(0.59)); // stale 2 → stop
+        assert_eq!(es.best(), 0.6);
+    }
+
+    #[test]
+    fn min_delta_filters_noise() {
+        let mut es = EarlyStopping::new(2, 0.05);
+        assert!(!es.update(0.50));
+        assert!(!es.update(0.52)); // +0.02 < delta → stale 1
+        assert!(es.update(0.53)); // still below delta → stale 2 → stop
+    }
+}

@@ -1,0 +1,257 @@
+//! Crash-safe checkpointing guarantees, end to end through the pipeline:
+//! a run interrupted at an arbitrary epoch and resumed from disk ends up
+//! **bit-identical** to a run that never stopped; injected disk faults
+//! (torn write, bit flip, partial flush) on any checkpoint save leave the
+//! previous generation loadable and the resumed run still exact; and
+//! checkpoints that don't belong to the experiment are refused with typed
+//! errors.
+
+use am_dgcnn::{
+    CheckpointDir, Error, Experiment, ExperimentBuilder, FaultInjector, FaultPlan, GnnKind,
+    Hyperparams,
+};
+use amdgcnn_data::{wn18_like, Dataset, Wn18Config};
+use amdgcnn_tensor::io::params_digest;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+const SEED: u64 = 11;
+const FULL_EPOCHS: usize = 4;
+
+fn dataset() -> Dataset {
+    wn18_like(&Wn18Config::tiny())
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "amdgcnn-crash-resume-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn builder(seed: u64) -> ExperimentBuilder {
+    Experiment::builder()
+        .gnn(GnnKind::am_dgcnn())
+        .hyper(Hyperparams {
+            lr: 5e-3,
+            hidden_dim: 8,
+            sort_k: 10,
+        })
+        .seed(seed)
+}
+
+/// Train to each target with checkpointing into `dir`, returning the final
+/// parameter digest read back from the newest on-disk generation.
+fn run_checkpointed(ds: &Dataset, exp: Experiment, dir: &PathBuf, targets: &[usize]) -> (u64, u32) {
+    exp.run_session(exp.session(ds, None).expect("session"), targets)
+        .expect("run");
+    let (generation, state) = CheckpointDir::create(dir)
+        .expect("dir")
+        .latest()
+        .expect("latest")
+        .expect("checkpoint present");
+    (generation, params_digest(&state.params))
+}
+
+/// Digest of an uninterrupted `FULL_EPOCHS`-epoch run at `SEED`, computed
+/// once and shared across tests (training is deterministic, so every test
+/// would recompute the identical value).
+fn reference_digest() -> u32 {
+    static DIGEST: OnceLock<u32> = OnceLock::new();
+    *DIGEST.get_or_init(|| {
+        let ds = dataset();
+        let dir = scratch_dir("reference");
+        let exp = builder(SEED).checkpoint_to(&dir, 1).build();
+        let (generation, digest) = run_checkpointed(&ds, exp, &dir, &[FULL_EPOCHS]);
+        assert_eq!(generation, FULL_EPOCHS as u64);
+        digest
+    })
+}
+
+#[test]
+fn resumed_run_is_bit_identical_to_uninterrupted() {
+    let ds = dataset();
+    let dir = scratch_dir("plain");
+
+    // "Crash" after epoch 3 with checkpoints every 2 epochs: the newest
+    // durable generation is 2, so the resume loses epoch 3 and replays it.
+    let exp = builder(SEED).checkpoint_to(&dir, 2).build();
+    exp.run_session(exp.session(&ds, None).expect("session"), &[3])
+        .expect("interrupted run");
+    let (generation, _) = CheckpointDir::create(&dir)
+        .expect("dir")
+        .latest()
+        .expect("latest")
+        .expect("present");
+    assert_eq!(generation, 2, "epoch 3 was never durably saved");
+
+    let resumed = builder(SEED)
+        .checkpoint_to(&dir, 2)
+        .resume_from(&dir)
+        .build();
+    let (generation, digest) = run_checkpointed(&ds, resumed, &dir, &[FULL_EPOCHS]);
+    assert_eq!(generation, FULL_EPOCHS as u64);
+    assert_eq!(
+        digest,
+        reference_digest(),
+        "resumed parameters must match an uninterrupted run bit-for-bit"
+    );
+}
+
+#[test]
+fn resume_restores_history_and_epoch_counter() {
+    let ds = dataset();
+    let dir = scratch_dir("history");
+    let exp = builder(SEED).checkpoint_to(&dir, 1).build();
+    exp.run_session(exp.session(&ds, None).expect("session"), &[2])
+        .expect("first run");
+
+    let session = builder(SEED)
+        .resume_from(&dir)
+        .build()
+        .session(&ds, None)
+        .expect("resumed session");
+    assert_eq!(session.trainer.epochs_done(), 2);
+    assert_eq!(session.trainer.history.len(), 2);
+    assert!(session.trainer.history.iter().all(|e| e.loss.is_finite()));
+}
+
+#[test]
+fn disk_faults_on_saves_fall_back_and_resume_stays_exact() {
+    for (tag, plan) in [
+        (
+            "torn",
+            FaultPlan {
+                torn_write_saves: vec![3],
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "bitflip",
+            FaultPlan {
+                bit_flip_saves: vec![3],
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "flush",
+            FaultPlan {
+                partial_flush_saves: vec![3],
+                ..FaultPlan::default()
+            },
+        ),
+    ] {
+        let ds = dataset();
+        let dir = scratch_dir(tag);
+        // Checkpoint every epoch; the third save (epoch 3) is hit by the
+        // fault, so the newest loadable generation must be epoch 2.
+        let exp = builder(SEED)
+            .checkpoint_to(&dir, 1)
+            .fault_injector(Arc::new(FaultInjector::new(plan)))
+            .build();
+        exp.run_session(exp.session(&ds, None).expect("session"), &[3])
+            .expect("faulted run still trains");
+        let (generation, _) = CheckpointDir::create(&dir)
+            .expect("dir")
+            .latest()
+            .expect("latest must fall back, not fail")
+            .expect("present");
+        assert_eq!(generation, 2, "{tag}: corrupt generation 3 must be skipped");
+
+        // Resuming from the fallback replays epoch 3+ and still lands on
+        // the uninterrupted run's exact parameters.
+        let resumed = builder(SEED)
+            .checkpoint_to(&dir, 1)
+            .resume_from(&dir)
+            .build();
+        let (generation, digest) = run_checkpointed(&ds, resumed, &dir, &[FULL_EPOCHS]);
+        assert_eq!(generation, FULL_EPOCHS as u64, "{tag}");
+        assert_eq!(digest, reference_digest(), "{tag}: resume must stay exact");
+    }
+}
+
+#[test]
+fn resume_with_wrong_seed_is_refused() {
+    let ds = dataset();
+    let dir = scratch_dir("seed");
+    let exp = builder(SEED).checkpoint_to(&dir, 1).build();
+    exp.run_session(exp.session(&ds, None).expect("session"), &[1])
+        .expect("first run");
+
+    let err = match builder(SEED + 1)
+        .resume_from(&dir)
+        .build()
+        .session(&ds, None)
+    {
+        Err(e) => e,
+        Ok(_) => panic!("wrong seed must be refused"),
+    };
+    assert!(matches!(err, Error::ResumeMismatch { .. }), "{err:?}");
+}
+
+#[test]
+fn all_generations_corrupt_is_a_typed_error_not_a_fresh_start() {
+    let ds = dataset();
+    let dir = scratch_dir("allbad");
+    // The only save ever made is torn.
+    let exp = builder(SEED)
+        .checkpoint_to(&dir, 1)
+        .fault_injector(Arc::new(FaultInjector::new(FaultPlan {
+            torn_write_saves: vec![1],
+            ..FaultPlan::default()
+        })))
+        .build();
+    exp.run_session(exp.session(&ds, None).expect("session"), &[1])
+        .expect("run");
+
+    let err = match builder(SEED).resume_from(&dir).build().session(&ds, None) {
+        Err(e) => e,
+        Ok(_) => panic!("an unloadable checkpoint dir must not silently restart"),
+    };
+    assert!(matches!(err, Error::CheckpointIo { .. }), "{err:?}");
+}
+
+#[test]
+fn empty_checkpoint_dir_starts_fresh() {
+    let ds = dataset();
+    let dir = scratch_dir("fresh");
+    let session = builder(SEED)
+        .resume_from(&dir)
+        .build()
+        .session(&ds, None)
+        .expect("empty dir resumes as a fresh run");
+    assert_eq!(session.trainer.epochs_done(), 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The tentpole property: interrupt at *any* epoch, with *any*
+    /// checkpoint cadence, and the resumed run's final parameters are
+    /// bit-identical to the uninterrupted run's.
+    #[test]
+    fn resume_from_any_interrupt_point_is_bit_identical(
+        interrupt in 1usize..FULL_EPOCHS,
+        every in 1usize..3,
+    ) {
+        let ds = dataset();
+        let dir = scratch_dir("prop");
+        let exp = builder(SEED).checkpoint_to(&dir, every).build();
+        exp.run_session(exp.session(&ds, None).expect("session"), &[interrupt])
+            .expect("interrupted run");
+        // A crash between checkpoint cadence points may not have saved the
+        // latest epochs; resume replays whatever was lost.
+        let resumed = builder(SEED)
+            .checkpoint_to(&dir, 1)
+            .resume_from(&dir)
+            .build();
+        let (generation, digest) =
+            run_checkpointed(&ds, resumed, &dir, &[FULL_EPOCHS]);
+        prop_assert_eq!(generation, FULL_EPOCHS as u64);
+        prop_assert_eq!(digest, reference_digest());
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests of the evaluation metrics.
+
+use am_dgcnn::metrics::{
+    accuracy, argmax_predictions, auc_one_vs_rest, average_precision, confusion_matrix, macro_auc,
+    roc_auc, roc_curve,
+};
+use amdgcnn_tensor::Matrix;
+use proptest::prelude::*;
+
+fn scores_and_labels(n: usize) -> impl Strategy<Value = (Vec<f32>, Vec<bool>)> {
+    (
+        proptest::collection::vec(0.0f32..1.0, n..n + 1),
+        proptest::collection::vec(proptest::bool::ANY, n..n + 1),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn auc_is_bounded((scores, labels) in scores_and_labels(12)) {
+        let auc = roc_auc(&scores, &labels);
+        prop_assert!((0.0..=1.0).contains(&auc));
+    }
+
+    #[test]
+    fn auc_flips_with_labels((scores, labels) in scores_and_labels(12)) {
+        let n_pos = labels.iter().filter(|&&p| p).count();
+        prop_assume!(n_pos > 0 && n_pos < labels.len());
+        let auc = roc_auc(&scores, &labels);
+        let flipped: Vec<bool> = labels.iter().map(|&b| !b).collect();
+        let auc_flipped = roc_auc(&scores, &flipped);
+        prop_assert!((auc + auc_flipped - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_is_invariant_to_monotone_transform((scores, labels) in scores_and_labels(12)) {
+        let n_pos = labels.iter().filter(|&&p| p).count();
+        prop_assume!(n_pos > 0 && n_pos < labels.len());
+        let transformed: Vec<f32> = scores.iter().map(|&s| (3.0 * s + 1.0).exp()).collect();
+        prop_assert!((roc_auc(&scores, &labels) - roc_auc(&transformed, &labels)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_equals_area_under_curve((scores, labels) in scores_and_labels(14)) {
+        let n_pos = labels.iter().filter(|&&p| p).count();
+        prop_assume!(n_pos > 0 && n_pos < labels.len());
+        let pts = roc_curve(&scores, &labels);
+        let mut area = 0.0;
+        for w in pts.windows(2) {
+            area += (w[1].0 - w[0].0) * (w[1].1 + w[0].1) / 2.0;
+        }
+        prop_assert!((area - roc_auc(&scores, &labels)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn confusion_matrix_row_sums_equal_class_counts(
+        pairs in proptest::collection::vec((0usize..4, 0usize..4), 1..30),
+    ) {
+        let labels: Vec<usize> = pairs.iter().map(|&(l, _)| l).collect();
+        let preds: Vec<usize> = pairs.iter().map(|&(_, p)| p).collect();
+        let cm = confusion_matrix(&preds, &labels, 4);
+        for (c, row) in cm.iter().enumerate() {
+            let count = labels.iter().filter(|&&l| l == c).count();
+            let row_sum: usize = row.iter().sum();
+            prop_assert_eq!(count, row_sum);
+        }
+        // Trace / total == accuracy.
+        let trace: usize = (0..4).map(|c| cm[c][c]).sum();
+        prop_assert!((trace as f64 / labels.len() as f64 - accuracy(&preds, &labels)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_probs_are_perfect(labels in proptest::collection::vec(0usize..3, 2..20)) {
+        // One-hot "probabilities" matching the labels give AUC 1 (per class
+        // present on both sides), AP 1, accuracy 1.
+        let mut probs = Matrix::zeros(labels.len(), 3);
+        for (r, &l) in labels.iter().enumerate() {
+            probs.set(r, l, 1.0);
+        }
+        let preds = argmax_predictions(&probs);
+        prop_assert_eq!(accuracy(&preds, &labels), 1.0);
+        prop_assert_eq!(average_precision(&preds, &labels, 3), 1.0);
+        let distinct: std::collections::HashSet<usize> = labels.iter().copied().collect();
+        for &c in &distinct {
+            if distinct.len() > 1 {
+                prop_assert_eq!(auc_one_vs_rest(&probs, &labels, c), 1.0);
+            }
+        }
+        if distinct.len() > 1 {
+            prop_assert_eq!(macro_auc(&probs, &labels), 1.0);
+        }
+    }
+
+    #[test]
+    fn ap_and_accuracy_bounded(
+        pairs in proptest::collection::vec((0usize..4, 0usize..4), 1..25),
+    ) {
+        let labels: Vec<usize> = pairs.iter().map(|&(l, _)| l).collect();
+        let preds: Vec<usize> = pairs.iter().map(|&(_, p)| p).collect();
+        let ap = average_precision(&preds, &labels, 4);
+        prop_assert!((0.0..=1.0).contains(&ap));
+        let acc = accuracy(&preds, &labels);
+        prop_assert!((0.0..=1.0).contains(&acc));
+    }
+}

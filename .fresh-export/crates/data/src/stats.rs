@@ -1,0 +1,103 @@
+//! Dataset summary statistics — regenerates the paper's Table II.
+
+use crate::types::Dataset;
+use serde::Serialize;
+
+/// One row of Table II plus split sizes.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Number of node types.
+    pub node_types: usize,
+    /// Number of edge types.
+    pub edge_types: usize,
+    /// Node count.
+    pub nodes: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Target-link class count.
+    pub classes: usize,
+    /// Training-link count.
+    pub train_links: usize,
+    /// Test-link count.
+    pub test_links: usize,
+    /// Mean node degree.
+    pub mean_degree: f64,
+}
+
+/// Compute summary statistics for a dataset.
+pub fn dataset_stats(ds: &Dataset) -> DatasetStats {
+    DatasetStats {
+        name: ds.name.to_string(),
+        node_types: ds.graph.num_node_types(),
+        edge_types: ds.graph.num_edge_types(),
+        nodes: ds.graph.num_nodes(),
+        edges: ds.graph.num_edges(),
+        classes: ds.num_classes,
+        train_links: ds.train.len(),
+        test_links: ds.test.len(),
+        mean_degree: ds.graph.mean_degree(),
+    }
+}
+
+/// Render stats rows as an aligned text table (Table II shape).
+pub fn format_table(rows: &[DatasetStats]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:>11} {:>11} {:>8} {:>9} {:>8} {:>7} {:>6}\n",
+        "Dataset", "#NodeTypes", "#EdgeTypes", "#Nodes", "#Edges", "#Classes", "#Train", "#Test"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} {:>11} {:>11} {:>8} {:>9} {:>8} {:>7} {:>6}\n",
+            r.name,
+            r.node_types,
+            r.edge_types,
+            r.nodes,
+            r.edges,
+            r.classes,
+            r.train_links,
+            r.test_links
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cora::{cora_like, CoraConfig};
+    use crate::wn18::{wn18_like, Wn18Config};
+
+    #[test]
+    fn stats_reflect_dataset() {
+        let ds = wn18_like(&Wn18Config::tiny());
+        let s = dataset_stats(&ds);
+        assert_eq!(s.name, "wn18-like");
+        assert_eq!(s.nodes, ds.graph.num_nodes());
+        assert_eq!(s.edges, ds.graph.num_edges());
+        assert_eq!(s.train_links, ds.train.len());
+        assert!(s.mean_degree > 0.0);
+    }
+
+    #[test]
+    fn table_contains_every_dataset_row() {
+        let rows = vec![
+            dataset_stats(&wn18_like(&Wn18Config::tiny())),
+            dataset_stats(&cora_like(&CoraConfig::tiny())),
+        ];
+        let table = format_table(&rows);
+        assert!(table.contains("wn18-like"));
+        assert!(table.contains("cora-like"));
+        assert_eq!(table.lines().count(), 3);
+    }
+
+    #[test]
+    fn stats_serialize_to_json() {
+        let ds = cora_like(&CoraConfig::tiny());
+        let s = dataset_stats(&ds);
+        let json = serde_json::to_string(&s).expect("serialize");
+        assert!(json.contains("\"name\":\"cora-like\""));
+    }
+}

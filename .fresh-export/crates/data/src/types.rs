@@ -1,0 +1,600 @@
+//! Shared dataset types: labeled links, train/test splits, and the
+//! [`Dataset`] bundle consumed by the SEAL pipeline.
+
+use amdgcnn_graph::{KnowledgeGraph, SubgraphConfig};
+use rand::{rngs::StdRng, RngExt};
+
+/// One labeled target link for classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabeledLink {
+    /// One endpoint.
+    pub u: u32,
+    /// Other endpoint.
+    pub v: u32,
+    /// Class index in `0..num_classes`.
+    pub class: usize,
+}
+
+/// Typed rejection of a malformed dataset. Returned by the fallible
+/// validation/construction paths ([`Dataset::try_validate`],
+/// [`EdgeAttrTable::try_from_rows`]) so loaders fed untrusted files can
+/// refuse bad data without crashing; the panicking counterparts delegate
+/// to these.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// The dataset's graph has no nodes: nothing can be trained or served.
+    EmptyGraph,
+    /// A split link names a node beyond the graph.
+    LinkOutOfRange {
+        /// Split name (`"train"` / `"test"`).
+        split: &'static str,
+        /// One endpoint.
+        u: u32,
+        /// Other endpoint.
+        v: u32,
+        /// Nodes present in the graph.
+        num_nodes: usize,
+    },
+    /// A split link joins a node to itself.
+    SelfLink {
+        /// Split name.
+        split: &'static str,
+        /// The node linked to itself.
+        node: u32,
+    },
+    /// A split link carries a class id at or beyond `num_classes`.
+    ClassOutOfRange {
+        /// Split name.
+        split: &'static str,
+        /// The offending class id.
+        class: usize,
+        /// Classes the dataset declares.
+        num_classes: usize,
+    },
+    /// An edge-attribute row's width differs from the table's.
+    RaggedAttrRow {
+        /// Row (edge type) index.
+        row: usize,
+        /// Width of the first row.
+        expected: usize,
+        /// Width actually found.
+        got: usize,
+    },
+    /// An edge attribute is NaN or infinite — it would poison every
+    /// forward pass touching an edge of that type.
+    NonFiniteAttr {
+        /// Row (edge type) index.
+        row: usize,
+        /// Column within the row.
+        col: usize,
+    },
+    /// The attribute table covers fewer edge types than the graph uses.
+    AttrTableTooSmall {
+        /// Edge types the table covers.
+        covered: usize,
+        /// Edge types the graph uses.
+        required: usize,
+    },
+}
+
+impl std::fmt::Display for DataError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            DataError::EmptyGraph => write!(f, "dataset graph has no nodes"),
+            DataError::LinkOutOfRange {
+                split,
+                u,
+                v,
+                num_nodes,
+            } => write!(
+                f,
+                "{split}: link ({u},{v}) out of range (graph has {num_nodes} nodes)"
+            ),
+            DataError::SelfLink { split, node } => {
+                write!(f, "{split}: self-link on node {node}")
+            }
+            DataError::ClassOutOfRange {
+                split,
+                class,
+                num_classes,
+            } => write!(
+                f,
+                "{split}: class {class} out of range (dataset has {num_classes})"
+            ),
+            DataError::RaggedAttrRow { row, expected, got } => write!(
+                f,
+                "ragged edge-attr table: row {row} has width {got}, expected {expected}"
+            ),
+            DataError::NonFiniteAttr { row, col } => {
+                write!(f, "non-finite edge attribute at row {row}, column {col}")
+            }
+            DataError::AttrTableTooSmall { covered, required } => write!(
+                f,
+                "edge-attr table covers {covered} types but graph has {required}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+/// Per-edge-type attribute vectors: row `etype` is the attribute the models
+/// see for edges of that type. Empty (`dim == 0`) means the dataset carries
+/// no usable edge attributes (Cora).
+#[derive(Debug, Clone)]
+pub struct EdgeAttrTable {
+    dim: usize,
+    rows: Vec<Vec<f32>>,
+}
+
+impl EdgeAttrTable {
+    /// Identity table: type `t` → one-hot of width `num_types`.
+    pub fn one_hot(num_types: usize) -> Self {
+        let rows = (0..num_types)
+            .map(|t| {
+                let mut r = vec![0.0; num_types];
+                r[t] = 1.0;
+                r
+            })
+            .collect();
+        Self {
+            dim: num_types,
+            rows,
+        }
+    }
+
+    /// Explicit table from rows (all must share a width).
+    ///
+    /// # Panics
+    /// Panics on ragged or non-finite rows (see
+    /// [`try_from_rows`](Self::try_from_rows) for the fallible form).
+    pub fn from_rows(rows: Vec<Vec<f32>>) -> Self {
+        Self::try_from_rows(rows).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`from_rows`](Self::from_rows): validates that every row
+    /// shares one width and every attribute is finite, so a corrupt or
+    /// hand-edited attribute file is reported instead of poisoning training.
+    ///
+    /// # Errors
+    /// [`DataError::RaggedAttrRow`] on the first width mismatch,
+    /// [`DataError::NonFiniteAttr`] on the first NaN/∞ entry.
+    pub fn try_from_rows(rows: Vec<Vec<f32>>) -> Result<Self, DataError> {
+        let dim = rows.first().map_or(0, Vec::len);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != dim {
+                return Err(DataError::RaggedAttrRow {
+                    row: i,
+                    expected: dim,
+                    got: r.len(),
+                });
+            }
+            if let Some(col) = r.iter().position(|v| !v.is_finite()) {
+                return Err(DataError::NonFiniteAttr { row: i, col });
+            }
+        }
+        Ok(Self { dim, rows })
+    }
+
+    /// Empty table (no edge attributes).
+    pub fn none() -> Self {
+        Self {
+            dim: 0,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Attribute width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of edge types covered.
+    pub fn num_types(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Attribute row for an edge type.
+    pub fn row(&self, etype: u16) -> &[f32] {
+        &self.rows[etype as usize]
+    }
+}
+
+/// A complete benchmark dataset: graph, labeled splits, attribute encoding,
+/// and the subgraph-extraction settings the paper prescribes for it.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Short dataset name (e.g. `"primekg-like"`).
+    pub name: &'static str,
+    /// The knowledge graph.
+    pub graph: KnowledgeGraph,
+    /// Edge-type → attribute-vector table.
+    pub edge_attrs: EdgeAttrTable,
+    /// Number of target-link classes.
+    pub num_classes: usize,
+    /// Training links.
+    pub train: Vec<LabeledLink>,
+    /// Held-out test links.
+    pub test: Vec<LabeledLink>,
+    /// Recommended enclosing-subgraph settings (hops, union/intersection,
+    /// per-hop cap) per the paper's §III-A.
+    pub subgraph: SubgraphConfig,
+}
+
+impl Dataset {
+    /// Class histogram over a split.
+    pub fn class_histogram(links: &[LabeledLink], num_classes: usize) -> Vec<usize> {
+        let mut hist = vec![0usize; num_classes];
+        for l in links {
+            hist[l.class] += 1;
+        }
+        hist
+    }
+
+    /// Sanity-check internal consistency (used by generators' tests and the
+    /// pipeline before training).
+    ///
+    /// # Panics
+    /// Panics on the first inconsistency (see
+    /// [`try_validate`](Self::try_validate) for the fallible form loaders
+    /// of untrusted data should use).
+    pub fn validate(&self) {
+        self.try_validate().unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible [`validate`](Self::validate): checks that the graph is
+    /// non-empty, every split link has in-range endpoints, no self-links,
+    /// in-range classes, and that the edge-attribute table covers every
+    /// edge type with finite values.
+    ///
+    /// # Errors
+    /// The first [`DataError`] found, in the order listed above.
+    pub fn try_validate(&self) -> Result<(), DataError> {
+        if self.graph.num_nodes() == 0 {
+            return Err(DataError::EmptyGraph);
+        }
+        let n = self.graph.num_nodes() as u32;
+        for (split, links) in [("train", &self.train), ("test", &self.test)] {
+            for l in links {
+                if l.u >= n || l.v >= n {
+                    return Err(DataError::LinkOutOfRange {
+                        split,
+                        u: l.u,
+                        v: l.v,
+                        num_nodes: n as usize,
+                    });
+                }
+                if l.u == l.v {
+                    return Err(DataError::SelfLink { split, node: l.u });
+                }
+                if l.class >= self.num_classes {
+                    return Err(DataError::ClassOutOfRange {
+                        split,
+                        class: l.class,
+                        num_classes: self.num_classes,
+                    });
+                }
+            }
+        }
+        if self.edge_attrs.dim() > 0 {
+            if self.edge_attrs.num_types() < self.graph.num_edge_types() {
+                return Err(DataError::AttrTableTooSmall {
+                    covered: self.edge_attrs.num_types(),
+                    required: self.graph.num_edge_types(),
+                });
+            }
+            for t in 0..self.edge_attrs.num_types() {
+                if let Some(col) = self
+                    .edge_attrs
+                    .row(t as u16)
+                    .iter()
+                    .position(|v| !v.is_finite())
+                {
+                    return Err(DataError::NonFiniteAttr { row: t, col });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Deterministically shuffle-and-split a pool of labeled links into train
+/// and test sets of the requested sizes, keeping per-class proportions by
+/// interleaving classes.
+pub fn split_links(
+    mut pool: Vec<LabeledLink>,
+    train_size: usize,
+    test_size: usize,
+    num_classes: usize,
+    rng: &mut StdRng,
+) -> (Vec<LabeledLink>, Vec<LabeledLink>) {
+    shuffle(&mut pool, rng);
+    // Round-robin over classes so both splits stay balanced even when the
+    // pool is skewed.
+    let mut by_class: Vec<Vec<LabeledLink>> = vec![Vec::new(); num_classes];
+    for l in pool {
+        by_class[l.class].push(l);
+    }
+    let mut interleaved = Vec::new();
+    let mut cursor = vec![0usize; num_classes];
+    loop {
+        let mut advanced = false;
+        for c in 0..num_classes {
+            if cursor[c] < by_class[c].len() {
+                interleaved.push(by_class[c][cursor[c]]);
+                cursor[c] += 1;
+                advanced = true;
+            }
+        }
+        if !advanced {
+            break;
+        }
+    }
+    assert!(
+        interleaved.len() >= train_size + test_size,
+        "link pool has {} candidates but {} requested",
+        interleaved.len(),
+        train_size + test_size
+    );
+    let train = interleaved[..train_size].to_vec();
+    let test = interleaved[train_size..train_size + test_size].to_vec();
+    (train, test)
+}
+
+/// Fisher–Yates shuffle driven by the given RNG (kept local so splits don't
+/// depend on `rand`'s slice extensions).
+pub fn shuffle<T>(items: &mut [T], rng: &mut StdRng) {
+    for i in (1..items.len()).rev() {
+        let j = rng.random_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+/// Sample `count` distinct node pairs that are *not* adjacent in `g` and not
+/// already present in `taken` (negative sampling for link prediction).
+pub fn sample_non_edges(
+    g: &KnowledgeGraph,
+    count: usize,
+    taken: &[(u32, u32)],
+    rng: &mut StdRng,
+) -> Vec<(u32, u32)> {
+    use std::collections::HashSet;
+    let mut seen: HashSet<(u32, u32)> = taken
+        .iter()
+        .map(|&(u, v)| if u < v { (u, v) } else { (v, u) })
+        .collect();
+    let n = g.num_nodes() as u32;
+    assert!(n >= 2, "graph too small for negative sampling");
+    let mut out = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    while out.len() < count {
+        attempts += 1;
+        assert!(
+            attempts < count * 1000 + 10_000,
+            "negative sampling failed to find enough non-edges"
+        );
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.contains(&key) || g.has_edge(u, v) {
+            continue;
+        }
+        seen.insert(key);
+        out.push(key);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn one_hot_table() {
+        let t = EdgeAttrTable::one_hot(3);
+        assert_eq!(t.dim(), 3);
+        assert_eq!(t.row(1), &[0.0, 1.0, 0.0]);
+        assert_eq!(t.num_types(), 3);
+    }
+
+    #[test]
+    fn none_table_is_empty() {
+        let t = EdgeAttrTable::none();
+        assert_eq!(t.dim(), 0);
+        assert_eq!(t.num_types(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_table_rejected() {
+        let _ = EdgeAttrTable::from_rows(vec![vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn try_from_rows_reports_ragged_and_non_finite() {
+        assert_eq!(
+            EdgeAttrTable::try_from_rows(vec![vec![1.0], vec![1.0, 2.0]]).unwrap_err(),
+            DataError::RaggedAttrRow {
+                row: 1,
+                expected: 1,
+                got: 2
+            }
+        );
+        assert_eq!(
+            EdgeAttrTable::try_from_rows(vec![vec![1.0, f32::NAN]]).unwrap_err(),
+            DataError::NonFiniteAttr { row: 0, col: 1 }
+        );
+        assert_eq!(
+            EdgeAttrTable::try_from_rows(vec![vec![f32::INFINITY]]).unwrap_err(),
+            DataError::NonFiniteAttr { row: 0, col: 0 }
+        );
+        let t = EdgeAttrTable::try_from_rows(vec![vec![0.5, -1.0]]).expect("valid");
+        assert_eq!(t.dim(), 2);
+    }
+
+    #[test]
+    fn try_validate_reports_each_defect() {
+        use amdgcnn_graph::SubgraphConfig;
+        let base = || Dataset {
+            name: "test",
+            graph: KnowledgeGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]),
+            edge_attrs: EdgeAttrTable::one_hot(1),
+            num_classes: 2,
+            train: vec![LabeledLink {
+                u: 0,
+                v: 2,
+                class: 0,
+            }],
+            test: vec![LabeledLink {
+                u: 1,
+                v: 3,
+                class: 1,
+            }],
+            subgraph: SubgraphConfig::default(),
+        };
+        assert_eq!(base().try_validate(), Ok(()));
+
+        let mut ds = base();
+        ds.graph = KnowledgeGraph::from_edges(1, &[]);
+        ds.train = vec![LabeledLink {
+            u: 0,
+            v: 9,
+            class: 0,
+        }];
+        assert_eq!(
+            ds.try_validate(),
+            Err(DataError::LinkOutOfRange {
+                split: "train",
+                u: 0,
+                v: 9,
+                num_nodes: 1
+            })
+        );
+
+        let mut ds = base();
+        ds.test = vec![LabeledLink {
+            u: 2,
+            v: 2,
+            class: 0,
+        }];
+        assert_eq!(
+            ds.try_validate(),
+            Err(DataError::SelfLink {
+                split: "test",
+                node: 2
+            })
+        );
+
+        let mut ds = base();
+        ds.train[0].class = 7;
+        assert_eq!(
+            ds.try_validate(),
+            Err(DataError::ClassOutOfRange {
+                split: "train",
+                class: 7,
+                num_classes: 2
+            })
+        );
+
+        let mut ds = base();
+        ds.graph = {
+            let mut b = amdgcnn_graph::GraphBuilder::new(4);
+            b.add_edge(0, 1, 0);
+            b.add_edge(1, 2, 3); // four edge types, table covers one
+            b.build()
+        };
+        assert_eq!(
+            ds.try_validate(),
+            Err(DataError::AttrTableTooSmall {
+                covered: 1,
+                required: 4
+            })
+        );
+
+        let mut ds = base();
+        ds.graph = KnowledgeGraph::from_edges(0, &[]);
+        ds.train.clear();
+        ds.test.clear();
+        assert_eq!(ds.try_validate(), Err(DataError::EmptyGraph));
+    }
+
+    #[test]
+    fn split_sizes_and_balance() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let pool: Vec<LabeledLink> = (0..300)
+            .map(|i| LabeledLink {
+                u: i,
+                v: i + 1000,
+                class: (i % 3) as usize,
+            })
+            .collect();
+        let (train, test) = split_links(pool, 90, 30, 3, &mut rng);
+        assert_eq!(train.len(), 90);
+        assert_eq!(test.len(), 30);
+        let h = Dataset::class_histogram(&train, 3);
+        assert_eq!(h, vec![30, 30, 30], "round-robin keeps classes balanced");
+        // Train and test are disjoint.
+        for t in &test {
+            assert!(!train.contains(t));
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let pool: Vec<LabeledLink> = (0..100)
+            .map(|i| LabeledLink {
+                u: i,
+                v: i + 500,
+                class: (i % 2) as usize,
+            })
+            .collect();
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        let a = split_links(pool.clone(), 40, 20, 2, &mut r1);
+        let b = split_links(pool, 40, 20, 2, &mut r2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "link pool")]
+    fn split_rejects_oversubscription() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let pool: Vec<LabeledLink> = (0..10)
+            .map(|i| LabeledLink {
+                u: i,
+                v: i + 50,
+                class: 0,
+            })
+            .collect();
+        let _ = split_links(pool, 8, 8, 1, &mut rng);
+    }
+
+    #[test]
+    fn non_edges_are_really_non_edges() {
+        let g = KnowledgeGraph::from_edges(20, &[(0, 1), (1, 2), (2, 3)]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let negs = sample_non_edges(&g, 15, &[], &mut rng);
+        assert_eq!(negs.len(), 15);
+        let mut seen = std::collections::HashSet::new();
+        for &(u, v) in &negs {
+            assert!(u < v);
+            assert!(!g.has_edge(u, v), "({u},{v}) is an edge");
+            assert!(seen.insert((u, v)), "duplicate pair");
+        }
+    }
+
+    #[test]
+    fn non_edges_respect_taken_list() {
+        let g = KnowledgeGraph::from_edges(6, &[(0, 1)]);
+        let taken: Vec<(u32, u32)> = vec![(2, 3), (4, 5)];
+        let mut rng = StdRng::seed_from_u64(2);
+        let negs = sample_non_edges(&g, 5, &taken, &mut rng);
+        for &(u, v) in &negs {
+            assert!(!taken.contains(&(u, v)));
+        }
+    }
+}

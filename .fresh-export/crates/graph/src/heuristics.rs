@@ -1,0 +1,211 @@
+//! First- and second-order link-prediction heuristics (paper §VI-A):
+//! common neighbors, Jaccard, Adamic–Adar, resource allocation, and
+//! preferential attachment. These serve as the classical baselines the
+//! supervised-heuristic-learning line of work (WLNM, SEAL, AM-DGCNN)
+//! improves upon.
+
+use crate::graph::KnowledgeGraph;
+
+/// Distinct common neighbors of `u` and `v`.
+pub fn common_neighbor_set(g: &KnowledgeGraph, u: u32, v: u32) -> Vec<u32> {
+    let nu = g.distinct_neighbors(u);
+    let nv = g.distinct_neighbors(v);
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < nu.len() && j < nv.len() {
+        match nu[i].cmp(&nv[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(nu[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Common-neighbor count score.
+pub fn common_neighbors(g: &KnowledgeGraph, u: u32, v: u32) -> f64 {
+    common_neighbor_set(g, u, v).len() as f64
+}
+
+/// Jaccard coefficient `|N(u) ∩ N(v)| / |N(u) ∪ N(v)|` (0 when both
+/// neighborhoods are empty).
+pub fn jaccard(g: &KnowledgeGraph, u: u32, v: u32) -> f64 {
+    let inter = common_neighbor_set(g, u, v).len();
+    let nu = g.distinct_neighbors(u).len();
+    let nv = g.distinct_neighbors(v).len();
+    let union = nu + nv - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Adamic–Adar index `Σ_{w ∈ N(u)∩N(v)} 1 / ln |N(w)|`. Common neighbors of
+/// degree ≤ 1 cannot occur (they neighbor both endpoints), so the logarithm
+/// is always positive.
+pub fn adamic_adar(g: &KnowledgeGraph, u: u32, v: u32) -> f64 {
+    common_neighbor_set(g, u, v)
+        .iter()
+        .map(|&w| {
+            let d = g.distinct_neighbors(w).len() as f64;
+            1.0 / d.ln().max(f64::MIN_POSITIVE)
+        })
+        .sum()
+}
+
+/// Resource-allocation index `Σ_{w ∈ N(u)∩N(v)} 1 / |N(w)|`.
+pub fn resource_allocation(g: &KnowledgeGraph, u: u32, v: u32) -> f64 {
+    common_neighbor_set(g, u, v)
+        .iter()
+        .map(|&w| 1.0 / g.distinct_neighbors(w).len() as f64)
+        .sum()
+}
+
+/// Preferential attachment `|N(u)| · |N(v)|`.
+pub fn preferential_attachment(g: &KnowledgeGraph, u: u32, v: u32) -> f64 {
+    (g.distinct_neighbors(u).len() * g.distinct_neighbors(v).len()) as f64
+}
+
+/// Identifier for a heuristic scorer (used by the baseline benches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Heuristic {
+    /// Common-neighbor count.
+    CommonNeighbors,
+    /// Jaccard coefficient.
+    Jaccard,
+    /// Adamic–Adar index.
+    AdamicAdar,
+    /// Resource-allocation index.
+    ResourceAllocation,
+    /// Preferential attachment.
+    PreferentialAttachment,
+}
+
+impl Heuristic {
+    /// Every first/second-order heuristic in canonical order.
+    pub const ALL: [Heuristic; 5] = [
+        Heuristic::CommonNeighbors,
+        Heuristic::Jaccard,
+        Heuristic::AdamicAdar,
+        Heuristic::ResourceAllocation,
+        Heuristic::PreferentialAttachment,
+    ];
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Heuristic::CommonNeighbors => "common-neighbors",
+            Heuristic::Jaccard => "jaccard",
+            Heuristic::AdamicAdar => "adamic-adar",
+            Heuristic::ResourceAllocation => "resource-allocation",
+            Heuristic::PreferentialAttachment => "preferential-attachment",
+        }
+    }
+
+    /// Score a node pair.
+    pub fn score(&self, g: &KnowledgeGraph, u: u32, v: u32) -> f64 {
+        match self {
+            Heuristic::CommonNeighbors => common_neighbors(g, u, v),
+            Heuristic::Jaccard => jaccard(g, u, v),
+            Heuristic::AdamicAdar => adamic_adar(g, u, v),
+            Heuristic::ResourceAllocation => resource_allocation(g, u, v),
+            Heuristic::PreferentialAttachment => preferential_attachment(g, u, v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    /// Two hubs 0 and 1 sharing neighbors 2, 3; 0 also joins 4; 1 joins 5.
+    fn shared_hub() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new(6);
+        for n in [2, 3, 4] {
+            b.add_edge(0, n, 0);
+        }
+        for n in [2, 3, 5] {
+            b.add_edge(1, n, 0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn common_neighbors_exact() {
+        let g = shared_hub();
+        assert_eq!(common_neighbor_set(&g, 0, 1), vec![2, 3]);
+        assert_eq!(common_neighbors(&g, 0, 1), 2.0);
+        assert_eq!(common_neighbors(&g, 4, 5), 0.0);
+    }
+
+    #[test]
+    fn jaccard_exact() {
+        let g = shared_hub();
+        // |∩| = 2, |∪| = {2,3,4,5} = 4.
+        assert!((jaccard(&g, 0, 1) - 0.5).abs() < 1e-12);
+        assert_eq!(jaccard(&g, 4, 5), 0.0);
+    }
+
+    #[test]
+    fn jaccard_handles_isolated_pair() {
+        let g = KnowledgeGraph::from_edges(3, &[(0, 1)]);
+        assert_eq!(jaccard(&g, 2, 2), 0.0);
+    }
+
+    #[test]
+    fn adamic_adar_weights_low_degree_neighbors_higher() {
+        // w1 has degree 2 (only the endpoints); w2 has degree 4.
+        let mut b = GraphBuilder::new(7);
+        b.add_edge(0, 2, 0); // w1 = 2
+        b.add_edge(1, 2, 0);
+        b.add_edge(0, 3, 0); // w2 = 3
+        b.add_edge(1, 3, 0);
+        b.add_edge(3, 4, 0);
+        b.add_edge(3, 5, 0);
+        let g = b.build();
+        let aa = adamic_adar(&g, 0, 1);
+        let expect = 1.0 / 2f64.ln() + 1.0 / 4f64.ln();
+        assert!((aa - expect).abs() < 1e-9);
+        // RA analogue.
+        let ra = resource_allocation(&g, 0, 1);
+        assert!((ra - (0.5 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preferential_attachment_multiplies_degrees() {
+        let g = shared_hub();
+        assert_eq!(preferential_attachment(&g, 0, 1), 9.0);
+        assert_eq!(preferential_attachment(&g, 2, 4), 2.0);
+    }
+
+    #[test]
+    fn heuristic_enum_dispatch_agrees() {
+        let g = shared_hub();
+        for h in Heuristic::ALL {
+            let direct = match h {
+                Heuristic::CommonNeighbors => common_neighbors(&g, 0, 1),
+                Heuristic::Jaccard => jaccard(&g, 0, 1),
+                Heuristic::AdamicAdar => adamic_adar(&g, 0, 1),
+                Heuristic::ResourceAllocation => resource_allocation(&g, 0, 1),
+                Heuristic::PreferentialAttachment => preferential_attachment(&g, 0, 1),
+            };
+            assert_eq!(h.score(&g, 0, 1), direct, "{}", h.name());
+        }
+    }
+
+    #[test]
+    fn symmetry_of_all_heuristics() {
+        let g = shared_hub();
+        for h in Heuristic::ALL {
+            for (u, v) in [(0u32, 1u32), (2, 3), (0, 5)] {
+                assert_eq!(h.score(&g, u, v), h.score(&g, v, u), "{}", h.name());
+            }
+        }
+    }
+}

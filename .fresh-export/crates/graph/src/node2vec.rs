@@ -1,0 +1,233 @@
+//! node2vec embeddings: skip-gram with negative sampling trained on the
+//! biased walks from [`crate::walks`].
+//!
+//! SEAL optionally appends these embeddings to the node feature vector; the
+//! paper observed no gain on knowledge graphs and disabled them (§III-B),
+//! but they remain available as a feature-source switch in the core crate.
+
+use crate::graph::KnowledgeGraph;
+use crate::walks::{generate_walks, WalkConfig};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+/// node2vec hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Node2VecConfig {
+    /// Embedding dimensionality.
+    pub dims: usize,
+    /// Skip-gram window radius.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// Training epochs over the walk corpus.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// Walk generation settings.
+    pub walk: WalkConfig,
+}
+
+impl Default for Node2VecConfig {
+    fn default() -> Self {
+        Self {
+            dims: 16,
+            window: 3,
+            negatives: 3,
+            epochs: 2,
+            lr: 0.025,
+            walk: WalkConfig::default(),
+        }
+    }
+}
+
+/// Learned embeddings, one row per node.
+#[derive(Debug, Clone)]
+pub struct NodeEmbeddings {
+    /// Embedding dimensionality.
+    pub dims: usize,
+    data: Vec<f32>,
+}
+
+impl NodeEmbeddings {
+    /// Embedding vector of a node.
+    pub fn get(&self, node: u32) -> &[f32] {
+        let d = self.dims;
+        &self.data[node as usize * d..(node as usize + 1) * d]
+    }
+
+    /// Number of embedded nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.data.len() / self.dims
+    }
+
+    /// Cosine similarity between two nodes' embeddings.
+    pub fn cosine(&self, a: u32, b: u32) -> f32 {
+        let (va, vb) = (self.get(a), self.get(b));
+        let dot: f32 = va.iter().zip(vb).map(|(x, y)| x * y).sum();
+        let na: f32 = va.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = vb.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Train node2vec embeddings on `g`.
+pub fn node2vec_embeddings(g: &KnowledgeGraph, cfg: &Node2VecConfig) -> NodeEmbeddings {
+    let n = g.num_nodes();
+    let d = cfg.dims;
+    let mut rng = StdRng::seed_from_u64(cfg.walk.seed ^ N2V_SALT);
+    // Input ("center") and output ("context") embedding tables.
+    let mut emb_in: Vec<f32> = (0..n * d)
+        .map(|_| (rng.random::<f32>() - 0.5) / d as f32)
+        .collect();
+    let mut emb_out: Vec<f32> = vec![0.0; n * d];
+
+    let walks = generate_walks(g, &cfg.walk);
+    let mut grad_center = vec![0.0f32; d];
+    for _epoch in 0..cfg.epochs {
+        for walk in &walks {
+            for (i, &center) in walk.iter().enumerate() {
+                let lo = i.saturating_sub(cfg.window);
+                let hi = (i + cfg.window + 1).min(walk.len());
+                for (j, &context) in walk.iter().enumerate().take(hi).skip(lo) {
+                    if j == i {
+                        continue;
+                    }
+                    grad_center.iter_mut().for_each(|v| *v = 0.0);
+                    // Positive pair plus `negatives` sampled negatives.
+                    for neg in 0..=cfg.negatives {
+                        let (target, label) = if neg == 0 {
+                            (context as usize, 1.0f32)
+                        } else {
+                            (rng.random_range(0..n), 0.0f32)
+                        };
+                        let ci = center as usize * d;
+                        let ti = target * d;
+                        let dot: f32 = (0..d).map(|k| emb_in[ci + k] * emb_out[ti + k]).sum();
+                        let err = (sigmoid(dot) - label) * cfg.lr;
+                        for k in 0..d {
+                            grad_center[k] += err * emb_out[ti + k];
+                            emb_out[ti + k] -= err * emb_in[ci + k];
+                        }
+                    }
+                    let ci = center as usize * d;
+                    for k in 0..d {
+                        emb_in[ci + k] -= grad_center[k];
+                    }
+                }
+            }
+        }
+    }
+    NodeEmbeddings {
+        dims: d,
+        data: emb_in,
+    }
+}
+
+/// Seed salt for the embedding RNG (kept distinct from the walk RNG so the
+/// two random streams never alias).
+const N2V_SALT: u64 = 0x6e32_7665_6373_616c;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    /// Barbell: two K4 cliques joined by one bridge edge.
+    fn barbell() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new(8);
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                b.add_edge(i, j, 0);
+            }
+        }
+        for i in 4..8u32 {
+            for j in (i + 1)..8 {
+                b.add_edge(i, j, 0);
+            }
+        }
+        b.add_edge(3, 4, 0);
+        b.build()
+    }
+
+    fn small_cfg(seed: u64) -> Node2VecConfig {
+        Node2VecConfig {
+            dims: 8,
+            epochs: 4,
+            walk: WalkConfig {
+                walk_length: 12,
+                walks_per_node: 8,
+                seed,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn shapes_and_finiteness() {
+        let g = barbell();
+        let emb = node2vec_embeddings(&g, &small_cfg(1));
+        assert_eq!(emb.num_nodes(), 8);
+        assert_eq!(emb.get(0).len(), 8);
+        for node in 0..8u32 {
+            assert!(emb.get(node).iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = barbell();
+        let a = node2vec_embeddings(&g, &small_cfg(7));
+        let b = node2vec_embeddings(&g, &small_cfg(7));
+        assert_eq!(a.get(3), b.get(3));
+    }
+
+    #[test]
+    fn community_members_closer_than_cross_community() {
+        let g = barbell();
+        let emb = node2vec_embeddings(&g, &small_cfg(3));
+        // Average within-clique cosine vs cross-clique cosine.
+        let mut within = 0.0f32;
+        let mut wcount = 0;
+        let mut cross = 0.0f32;
+        let mut ccount = 0;
+        for a in 0..8u32 {
+            for b in (a + 1)..8u32 {
+                let c = emb.cosine(a, b);
+                if (a < 4) == (b < 4) {
+                    within += c;
+                    wcount += 1;
+                } else {
+                    cross += c;
+                    ccount += 1;
+                }
+            }
+        }
+        let within = within / wcount as f32;
+        let cross = cross / ccount as f32;
+        assert!(
+            within > cross,
+            "within-community cosine {within} should exceed cross-community {cross}"
+        );
+    }
+
+    #[test]
+    fn cosine_is_bounded() {
+        let g = barbell();
+        let emb = node2vec_embeddings(&g, &small_cfg(9));
+        for a in 0..8u32 {
+            for b in 0..8u32 {
+                let c = emb.cosine(a, b);
+                assert!((-1.001..=1.001).contains(&c));
+            }
+        }
+    }
+}

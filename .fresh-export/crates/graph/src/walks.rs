@@ -1,0 +1,208 @@
+//! Uniform and node2vec-biased random walks (Grover & Leskovec, 2016).
+//!
+//! node2vec interpolates between BFS-like and DFS-like exploration with the
+//! return parameter `p` and in-out parameter `q`: stepping from `v` (having
+//! arrived from `t`) the unnormalized probability of moving to `x` is
+//! `1/p` if `x = t`, `1` if `x` neighbors `t`, and `1/q` otherwise.
+
+use crate::graph::KnowledgeGraph;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+/// Walk-generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct WalkConfig {
+    /// Steps per walk (number of nodes is `walk_length`).
+    pub walk_length: usize,
+    /// Walks started from every node.
+    pub walks_per_node: usize,
+    /// node2vec return parameter.
+    pub p: f64,
+    /// node2vec in-out parameter.
+    pub q: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        Self {
+            walk_length: 20,
+            walks_per_node: 4,
+            p: 1.0,
+            q: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+/// One uniform random walk from `start` (stops early at dead ends).
+pub fn random_walk(
+    g: &KnowledgeGraph,
+    start: u32,
+    walk_length: usize,
+    rng: &mut StdRng,
+) -> Vec<u32> {
+    let mut walk = Vec::with_capacity(walk_length);
+    walk.push(start);
+    let mut cur = start;
+    while walk.len() < walk_length {
+        let neigh = g.neighbors(cur);
+        if neigh.is_empty() {
+            break;
+        }
+        cur = neigh[rng.random_range(0..neigh.len())].0;
+        walk.push(cur);
+    }
+    walk
+}
+
+/// One node2vec-biased walk from `start`.
+pub fn node2vec_walk(
+    g: &KnowledgeGraph,
+    start: u32,
+    cfg: &WalkConfig,
+    rng: &mut StdRng,
+) -> Vec<u32> {
+    let mut walk = Vec::with_capacity(cfg.walk_length);
+    walk.push(start);
+    let mut prev: Option<u32> = None;
+    let mut cur = start;
+    while walk.len() < cfg.walk_length {
+        let neigh = g.neighbors(cur);
+        if neigh.is_empty() {
+            break;
+        }
+        let next = match prev {
+            None => neigh[rng.random_range(0..neigh.len())].0,
+            Some(t) => {
+                // Weighted choice with node2vec biases.
+                let mut weights: Vec<f64> = Vec::with_capacity(neigh.len());
+                let mut total = 0.0;
+                for &(x, _) in neigh {
+                    let w = if x == t {
+                        1.0 / cfg.p
+                    } else if g.has_edge(x, t) {
+                        1.0
+                    } else {
+                        1.0 / cfg.q
+                    };
+                    total += w;
+                    weights.push(total);
+                }
+                let r = rng.random_range(0.0..total);
+                let idx = weights.partition_point(|&w| w <= r).min(neigh.len() - 1);
+                neigh[idx].0
+            }
+        };
+        prev = Some(cur);
+        cur = next;
+        walk.push(cur);
+    }
+    walk
+}
+
+/// Generate `walks_per_node` node2vec walks from every node, deterministic
+/// in `cfg.seed`.
+pub fn generate_walks(g: &KnowledgeGraph, cfg: &WalkConfig) -> Vec<Vec<u32>> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut walks = Vec::with_capacity(g.num_nodes() * cfg.walks_per_node);
+    for round in 0..cfg.walks_per_node {
+        let _ = round;
+        for start in 0..g.num_nodes() as u32 {
+            walks.push(node2vec_walk(g, start, cfg, &mut rng));
+        }
+    }
+    walks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::KnowledgeGraph;
+
+    fn path5() -> KnowledgeGraph {
+        KnowledgeGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn walks_follow_edges() {
+        let g = path5();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let w = random_walk(&g, 2, 10, &mut rng);
+            assert_eq!(w[0], 2);
+            for pair in w.windows(2) {
+                assert!(g.has_edge(pair[0], pair[1]), "non-edge step {pair:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dead_end_stops_walk() {
+        let g = KnowledgeGraph::from_edges(3, &[(0, 1)]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = random_walk(&g, 2, 10, &mut rng);
+        assert_eq!(w, vec![2]);
+    }
+
+    #[test]
+    fn node2vec_walks_follow_edges_too() {
+        let g = path5();
+        let cfg = WalkConfig {
+            p: 0.5,
+            q: 2.0,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let w = node2vec_walk(&g, 0, &cfg, &mut rng);
+            for pair in w.windows(2) {
+                assert!(g.has_edge(pair[0], pair[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn low_p_returns_often() {
+        // On a star, with p tiny the walk keeps bouncing back to where it
+        // came from; with p huge it rarely returns immediately.
+        let mut b = crate::graph::GraphBuilder::new(9);
+        for leaf in 1..9 {
+            b.add_edge(0, leaf, 0);
+        }
+        let g = b.build();
+        let count_returns = |p: f64, seed: u64| {
+            let cfg = WalkConfig {
+                walk_length: 40,
+                p,
+                q: 1.0,
+                walks_per_node: 1,
+                seed,
+            };
+            let mut rng = StdRng::seed_from_u64(seed);
+            let w = node2vec_walk(&g, 1, &cfg, &mut rng);
+            w.windows(3).filter(|t| t[0] == t[2]).count()
+        };
+        let low: usize = (0..10).map(|s| count_returns(0.05, s)).sum();
+        let high: usize = (0..10).map(|s| count_returns(20.0, s)).sum();
+        assert!(low > high, "returns with low p {low} vs high p {high}");
+    }
+
+    #[test]
+    fn generate_walks_is_deterministic_and_complete() {
+        let g = path5();
+        let cfg = WalkConfig {
+            walks_per_node: 3,
+            walk_length: 8,
+            ..Default::default()
+        };
+        let w1 = generate_walks(&g, &cfg);
+        let w2 = generate_walks(&g, &cfg);
+        assert_eq!(w1, w2);
+        assert_eq!(w1.len(), 15);
+        // Every node appears as a start.
+        for start in 0..5u32 {
+            assert!(w1.iter().any(|w| w[0] == start));
+        }
+    }
+}

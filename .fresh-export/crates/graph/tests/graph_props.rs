@@ -1,0 +1,157 @@
+//! Property-based tests of the graph substrate: random graphs checked
+//! against brute-force reference implementations.
+
+use amdgcnn_graph::bfs::{bfs_distances, connected_components, UNREACHABLE};
+use amdgcnn_graph::heuristics::{common_neighbor_set, Heuristic};
+use amdgcnn_graph::khop::{extract_enclosing_subgraph, NeighborhoodMode, SubgraphConfig};
+use amdgcnn_graph::{GraphBuilder, KnowledgeGraph};
+use proptest::prelude::*;
+
+/// Strategy: a random multigraph with up to `max_n` nodes and typed edges.
+fn random_graph(max_n: usize, max_edges: usize) -> impl Strategy<Value = KnowledgeGraph> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32, 0..5u16), 1..max_edges).prop_map(
+            move |edges| {
+                let mut b = GraphBuilder::new(n);
+                for (u, v, t) in edges {
+                    b.add_edge(u, v, t);
+                }
+                b.build()
+            },
+        )
+    })
+}
+
+/// Reference: Bellman-Ford-style relaxation for hop distances.
+fn reference_distances(g: &KnowledgeGraph, src: u32) -> Vec<u32> {
+    let n = g.num_nodes();
+    let mut dist = vec![UNREACHABLE; n];
+    dist[src as usize] = 0;
+    for _ in 0..n {
+        let mut changed = false;
+        for e in g.edges() {
+            for (a, b) in [(e.u, e.v), (e.v, e.u)] {
+                if dist[a as usize] != UNREACHABLE {
+                    let cand = dist[a as usize] + 1;
+                    if cand < dist[b as usize] {
+                        dist[b as usize] = cand;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bfs_matches_reference(g in random_graph(12, 24)) {
+        for src in 0..g.num_nodes() as u32 {
+            prop_assert_eq!(bfs_distances(&g, src), reference_distances(&g, src));
+        }
+    }
+
+    #[test]
+    fn components_agree_with_reachability(g in random_graph(10, 16)) {
+        let comp = connected_components(&g);
+        for a in 0..g.num_nodes() as u32 {
+            let d = bfs_distances(&g, a);
+            for b in 0..g.num_nodes() as u32 {
+                let same = comp[a as usize] == comp[b as usize];
+                let reachable = d[b as usize] != UNREACHABLE;
+                prop_assert_eq!(same, reachable, "nodes {} and {}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn heuristics_are_symmetric_and_nonnegative(g in random_graph(12, 30)) {
+        for h in Heuristic::ALL {
+            for a in 0..g.num_nodes() as u32 {
+                for b in 0..g.num_nodes() as u32 {
+                    let s = h.score(&g, a, b);
+                    prop_assert!(s >= 0.0, "{} negative", h.name());
+                    prop_assert!((s - h.score(&g, b, a)).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn common_neighbors_brute_force(g in random_graph(12, 30)) {
+        for a in 0..g.num_nodes() as u32 {
+            for b in 0..g.num_nodes() as u32 {
+                let fast = common_neighbor_set(&g, a, b);
+                let brute: Vec<u32> = (0..g.num_nodes() as u32)
+                    .filter(|&w| g.has_edge(a, w) && g.has_edge(b, w))
+                    .collect();
+                prop_assert_eq!(fast, brute);
+            }
+        }
+    }
+
+    #[test]
+    fn enclosing_subgraph_invariants(g in random_graph(14, 40), seed in 0u64..100) {
+        // Pick a deterministic pair of distinct nodes.
+        let a = (seed % g.num_nodes() as u64) as u32;
+        let b = ((seed / 7 + 1 + a as u64) % g.num_nodes() as u64) as u32;
+        prop_assume!(a != b);
+        for mode in [NeighborhoodMode::Union, NeighborhoodMode::Intersection] {
+            let cfg = SubgraphConfig { mode, hops: 2, max_nodes_per_hop: Some(6), seed };
+            let sub = extract_enclosing_subgraph(&g, a, b, &cfg);
+            // Targets present, first, and labeled 1.
+            prop_assert_eq!(sub.nodes[0], a);
+            prop_assert_eq!(sub.nodes[1], b);
+            prop_assert_eq!(sub.drnl[0], 1);
+            prop_assert_eq!(sub.drnl[1], 1);
+            // No duplicate nodes.
+            let mut ids = sub.nodes.clone();
+            ids.sort_unstable();
+            let before = ids.len();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), before, "duplicate nodes in subgraph");
+            // Every edge is internal and not the target link.
+            for e in &sub.edges {
+                prop_assert!((e.u as usize) < sub.nodes.len());
+                prop_assert!((e.v as usize) < sub.nodes.len());
+                let uv = (e.u.min(e.v), e.u.max(e.v));
+                prop_assert!(uv != (0, 1), "target link leaked");
+                // The edge exists in the parent graph with the same type.
+                let (ou, ov) = (sub.nodes[e.u as usize], sub.nodes[e.v as usize]);
+                let parent_types: Vec<u16> = g
+                    .edges_between(ou, ov)
+                    .iter()
+                    .map(|&eid| g.edge(eid).etype)
+                    .collect();
+                prop_assert!(parent_types.contains(&e.etype));
+            }
+            // Distances never exceed what's possible in the subgraph, and
+            // DRNL 0 exactly when a distance is missing.
+            for i in 0..sub.num_nodes() {
+                let unreachable =
+                    sub.dist_a[i] == UNREACHABLE || sub.dist_b[i] == UNREACHABLE;
+                prop_assert_eq!(sub.drnl[i] == 0, unreachable && i > 1, "node {}", i);
+            }
+        }
+    }
+
+    #[test]
+    fn builder_roundtrip_preserves_edges(g in random_graph(10, 20)) {
+        // Rebuilding from the edge list yields the same adjacency.
+        let mut b = GraphBuilder::with_node_types(g.node_types().to_vec());
+        for e in g.edges() {
+            b.add_edge(e.u, e.v, e.etype);
+        }
+        let g2 = b.build();
+        prop_assert_eq!(g.num_edges(), g2.num_edges());
+        for u in 0..g.num_nodes() as u32 {
+            prop_assert_eq!(g.neighbors(u), g2.neighbors(u));
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Activation functions as a tape-applicable enum.
+
+use amdgcnn_tensor::{Tape, Var};
+
+/// Elementwise nonlinearity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Activation {
+    /// No-op.
+    Identity,
+    /// Hyperbolic tangent (the DGCNN default).
+    Tanh,
+    /// Rectified linear unit.
+    Relu,
+    /// Leaky ReLU with the given negative slope.
+    LeakyRelu(f32),
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl Activation {
+    /// Apply on the tape.
+    pub fn apply(&self, tape: &mut Tape, x: Var) -> Var {
+        match self {
+            Activation::Identity => x,
+            Activation::Tanh => tape.tanh(x),
+            Activation::Relu => tape.relu(x),
+            Activation::LeakyRelu(slope) => tape.leaky_relu(x, *slope),
+            Activation::Sigmoid => tape.sigmoid(x),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amdgcnn_tensor::Matrix;
+
+    #[test]
+    fn applies_expected_function() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::row_vector(&[-2.0, 0.0, 2.0]));
+        let id = Activation::Identity.apply(&mut tape, x);
+        assert_eq!(tape.value(id).data(), &[-2.0, 0.0, 2.0]);
+        let r = Activation::Relu.apply(&mut tape, x);
+        assert_eq!(tape.value(r).data(), &[0.0, 0.0, 2.0]);
+        let lr = Activation::LeakyRelu(0.1).apply(&mut tape, x);
+        assert_eq!(tape.value(lr).data(), &[-0.2, 0.0, 2.0]);
+        let t = Activation::Tanh.apply(&mut tape, x);
+        assert!((tape.value(t).get(0, 2) - 2.0f32.tanh()).abs() < 1e-6);
+        let s = Activation::Sigmoid.apply(&mut tape, x);
+        assert!((tape.value(s).get(0, 1) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn identity_does_not_grow_tape() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::zeros(1, 1));
+        let before = tape.len();
+        let y = Activation::Identity.apply(&mut tape, x);
+        assert_eq!(tape.len(), before);
+        assert_eq!(y, x);
+    }
+}

@@ -1,0 +1,105 @@
+//! Inverted dropout.
+
+use amdgcnn_tensor::{Tape, Var};
+use rand::{rngs::StdRng, RngExt};
+use std::sync::Arc;
+
+/// Dropout layer: zeroes each element with probability `prob` during
+/// training and rescales survivors by `1/(1-prob)` so expectations match
+/// inference (which simply skips the layer).
+#[derive(Debug, Clone, Copy)]
+pub struct Dropout {
+    /// Drop probability in `[0, 1)`.
+    pub prob: f32,
+}
+
+impl Dropout {
+    /// Create a dropout layer.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ prob < 1`.
+    pub fn new(prob: f32) -> Self {
+        assert!(
+            (0.0..1.0).contains(&prob),
+            "dropout probability {prob} out of [0,1)"
+        );
+        Self { prob }
+    }
+
+    /// Apply in training mode, drawing the mask from `rng`.
+    pub fn apply(&self, tape: &mut Tape, x: Var, rng: &mut StdRng) -> Var {
+        if self.prob == 0.0 {
+            return x;
+        }
+        let (r, c) = tape.shape(x);
+        let keep = 1.0 - self.prob;
+        let scale = 1.0 / keep;
+        let mask: Arc<Vec<f32>> = Arc::new(
+            (0..r * c)
+                .map(|_| {
+                    if rng.random::<f32>() < keep {
+                        scale
+                    } else {
+                        0.0
+                    }
+                })
+                .collect(),
+        );
+        tape.dropout(x, mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amdgcnn_tensor::Matrix;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_prob_is_identity() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::ones(2, 2));
+        let mut rng = StdRng::seed_from_u64(0);
+        let y = Dropout::new(0.0).apply(&mut tape, x, &mut rng);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn expectation_is_preserved() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::ones(100, 100));
+        let mut rng = StdRng::seed_from_u64(1);
+        let y = Dropout::new(0.3).apply(&mut tape, x, &mut rng);
+        let mean = tape.value(y).mean();
+        assert!((mean - 1.0).abs() < 0.05, "inverted-dropout mean {mean}");
+    }
+
+    #[test]
+    fn elements_are_zero_or_scaled() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::ones(10, 10));
+        let mut rng = StdRng::seed_from_u64(2);
+        let y = Dropout::new(0.5).apply(&mut tape, x, &mut rng);
+        for &v in tape.value(y).data() {
+            assert!(v == 0.0 || (v - 2.0).abs() < 1e-6, "unexpected value {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout probability")]
+    fn rejects_prob_one() {
+        let _ = Dropout::new(1.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let make = || {
+            let mut tape = Tape::new();
+            let x = tape.leaf(Matrix::ones(5, 5));
+            let mut rng = StdRng::seed_from_u64(9);
+            let y = Dropout::new(0.4).apply(&mut tape, x, &mut rng);
+            tape.value(y).clone()
+        };
+        assert_eq!(make(), make());
+    }
+}

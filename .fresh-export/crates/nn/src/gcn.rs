@@ -1,0 +1,174 @@
+//! Graph Convolutional Network layer (Kipf & Welling, 2017) — the message
+//! passing used by *vanilla* DGCNN in the SEAL framework. Propagation rule:
+//! `H' = σ(Â · H · W + b)` with `Â = D^{-1/2}(A+I)D^{-1/2}`.
+//!
+//! Note the crucial limitation the paper exploits: this layer has no way to
+//! consume edge attributes — every neighbor contributes with a weight fixed
+//! by the normalized topology alone.
+//!
+//! Â is never materialized: the layer runs the static-weight g-SpMM kernel
+//! over the shared [`MessageGraph`] CSR with the cached symmetric-norm
+//! weights `w[m] = d^{-1/2}(dst)·d^{-1/2}(src)` (self-loops are ordinary
+//! messages, so the degrees already count the `+I`).
+
+use crate::message_graph::{GraphLayer, MessageGraph};
+use amdgcnn_tensor::{init, Matrix, ParamId, ParamStore, Tape, Var};
+use rand::rngs::StdRng;
+
+/// One graph-convolution layer.
+#[derive(Debug, Clone)]
+pub struct GcnConv {
+    /// Weight `[in_dim, out_dim]`.
+    pub weight: ParamId,
+    /// Bias `[1, out_dim]`.
+    pub bias: ParamId,
+    /// Input feature width.
+    pub in_dim: usize,
+    /// Output feature width.
+    pub out_dim: usize,
+}
+
+impl GcnConv {
+    /// Register parameters for a new layer.
+    pub fn new(
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        ps: &mut ParamStore,
+        rng: &mut StdRng,
+    ) -> Self {
+        let weight = ps.register(
+            format!("{name}.weight"),
+            init::xavier_uniform(in_dim, out_dim, rng),
+        );
+        let bias = ps.register(format!("{name}.bias"), Matrix::zeros(1, out_dim));
+        Self {
+            weight,
+            bias,
+            in_dim,
+            out_dim,
+        }
+    }
+}
+
+impl GraphLayer for GcnConv {
+    /// Forward pass: `Â·(H·W) + b` (activation applied by the caller, as
+    /// DGCNN uses tanh between its stacked layers).
+    fn forward(&self, tape: &mut Tape, ps: &ParamStore, graph: &MessageGraph, h: Var) -> Var {
+        debug_assert_eq!(
+            tape.shape(h).1,
+            self.in_dim,
+            "GcnConv: input width mismatch"
+        );
+        debug_assert_eq!(
+            tape.shape(h).0,
+            graph.num_nodes(),
+            "GcnConv: node count mismatch"
+        );
+        let w = tape.param(self.weight, ps.get(self.weight).clone());
+        let hw = tape.matmul(h, w);
+        let agg = tape.gspmm_static(graph.csr().clone(), graph.gcn_weights(), hw);
+        let b = tape.param(self.bias, ps.get(self.bias).clone());
+        tape.add_row_broadcast(agg, b)
+    }
+
+    fn output_width(&self) -> usize {
+        self.out_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amdgcnn_tensor::autograd::gradcheck::check_gradients;
+    use amdgcnn_tensor::matmul::matmul;
+    use rand::SeedableRng;
+
+    fn path_graph() -> MessageGraph {
+        MessageGraph::from_undirected(3, &[(0, 1), (1, 2)])
+    }
+
+    #[test]
+    fn forward_matches_manual_computation() {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let layer = GcnConv::new("g", 2, 2, &mut ps, &mut rng);
+        let graph = path_graph();
+        let input = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32);
+
+        let mut tape = Tape::new();
+        let h = tape.leaf(input.clone());
+        let out = layer.forward(&mut tape, &ps, &graph, h);
+
+        // Reference: dense Â = D^{-1/2}(A+I)D^{-1/2} applied to H·W.
+        let hw = matmul(&input, ps.get(layer.weight));
+        let adj = graph.csr().to_dense_adj(&graph.gcn_weights());
+        let expect = matmul(&adj, &hw).add_row_broadcast(ps.get(layer.bias));
+        assert!(tape.value(out).max_abs_diff(&expect) < 1e-5);
+    }
+
+    #[test]
+    fn isolated_node_keeps_only_self_message() {
+        // Node 2 is isolated: its output is exactly its own transformed
+        // features (self-loop weight 1 after normalization).
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let layer = GcnConv::new("g", 2, 3, &mut ps, &mut rng);
+        let graph = MessageGraph::from_undirected(3, &[(0, 1)]);
+        let input = Matrix::from_fn(3, 2, |r, c| (r + c) as f32 + 1.0);
+        let mut tape = Tape::new();
+        let h = tape.leaf(input.clone());
+        let out = layer.forward(&mut tape, &ps, &graph, h);
+        let hw = matmul(&input, ps.get(layer.weight));
+        for c in 0..3 {
+            let expect = hw.get(2, c) + ps.get(layer.bias).get(0, c);
+            assert!((tape.value(out).get(2, c) - expect).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn permutation_equivariance() {
+        // Relabeling nodes permutes the output rows identically.
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let layer = GcnConv::new("g", 2, 2, &mut ps, &mut rng);
+        let input = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+
+        let g1 = MessageGraph::from_undirected(3, &[(0, 1), (1, 2)]);
+        let mut t1 = Tape::new();
+        let h1 = t1.leaf(input.clone());
+        let o1 = layer.forward(&mut t1, &ps, &g1, h1);
+
+        // Permutation 0→2, 1→1, 2→0.
+        let g2 = MessageGraph::from_undirected(3, &[(2, 1), (1, 0)]);
+        let perm_input = input.gather_rows(&[2, 1, 0]);
+        let mut t2 = Tape::new();
+        let h2 = t2.leaf(perm_input);
+        let o2 = layer.forward(&mut t2, &ps, &g2, h2);
+
+        let expect = t1.value(o1).gather_rows(&[2, 1, 0]);
+        assert!(t2.value(o2).max_abs_diff(&expect) < 1e-5);
+    }
+
+    #[test]
+    fn gradients_check_out() {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let layer = GcnConv::new("g", 2, 2, &mut ps, &mut rng);
+        let graph = path_graph();
+        let input = Matrix::from_fn(3, 2, |r, c| ((r * 2 + c) as f32 * 0.31).sin());
+        let res = check_gradients(
+            &ps,
+            |tape, store| {
+                let h = tape.leaf(input.clone());
+                let out = layer.forward(tape, store, &graph, h);
+                let act = tape.tanh(out);
+                let sq = tape.mul(act, act);
+                tape.mean_all(sq)
+            },
+            1e-2,
+            3e-2,
+        );
+        assert!(res.is_ok(), "{res:?}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Fully connected (dense) layer.
+
+use amdgcnn_tensor::{init, Matrix, ParamId, ParamStore, Tape, Var};
+use rand::rngs::StdRng;
+
+/// `y = x·W + b` with Xavier-initialized weights.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Weight parameter id (`[in_dim, out_dim]`).
+    pub weight: ParamId,
+    /// Optional bias parameter id (`[1, out_dim]`).
+    pub bias: Option<ParamId>,
+    /// Input feature dimension.
+    pub in_dim: usize,
+    /// Output feature dimension.
+    pub out_dim: usize,
+}
+
+impl Linear {
+    /// Register a new layer's parameters.
+    pub fn new(
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        with_bias: bool,
+        ps: &mut ParamStore,
+        rng: &mut StdRng,
+    ) -> Self {
+        let weight = ps.register(
+            format!("{name}.weight"),
+            init::xavier_uniform(in_dim, out_dim, rng),
+        );
+        let bias =
+            with_bias.then(|| ps.register(format!("{name}.bias"), Matrix::zeros(1, out_dim)));
+        Self {
+            weight,
+            bias,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Forward pass for an `[N, in_dim]` input.
+    pub fn forward(&self, tape: &mut Tape, ps: &ParamStore, x: Var) -> Var {
+        debug_assert_eq!(tape.shape(x).1, self.in_dim, "Linear: input width mismatch");
+        let w = tape.param(self.weight, ps.get(self.weight).clone());
+        let xw = tape.matmul(x, w);
+        match self.bias {
+            Some(b) => {
+                let bv = tape.param(b, ps.get(b).clone());
+                tape.add_row_broadcast(xw, bv)
+            }
+            None => xw,
+        }
+    }
+
+    /// Number of scalar parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.in_dim * self.out_dim + if self.bias.is_some() { self.out_dim } else { 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amdgcnn_tensor::autograd::gradcheck::check_gradients;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let layer = Linear::new("l", 4, 3, true, &mut ps, &mut rng);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(layer.num_parameters(), 15);
+
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::ones(5, 4));
+        let y = layer.forward(&mut tape, &ps, x);
+        assert_eq!(tape.shape(y), (5, 3));
+    }
+
+    #[test]
+    fn identity_weight_passthrough() {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let layer = Linear::new("l", 3, 3, false, &mut ps, &mut rng);
+        ps.set(layer.weight, Matrix::eye(3));
+        let mut tape = Tape::new();
+        let input = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+        let x = tape.leaf(input.clone());
+        let y = layer.forward(&mut tape, &ps, x);
+        assert_eq!(tape.value(y), &input);
+    }
+
+    #[test]
+    fn gradients_check_out() {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let layer = Linear::new("l", 3, 2, true, &mut ps, &mut rng);
+        let input = Matrix::from_fn(4, 3, |r, c| ((r + c) as f32 * 0.37).sin());
+        let res = check_gradients(
+            &ps,
+            |tape, store| {
+                let x = tape.leaf(input.clone());
+                let y = layer.forward(tape, store, x);
+                let y2 = tape.mul(y, y);
+                tape.mean_all(y2)
+            },
+            1e-2,
+            3e-2,
+        );
+        assert!(res.is_ok(), "{res:?}");
+    }
+}

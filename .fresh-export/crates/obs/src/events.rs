@@ -1,0 +1,125 @@
+//! Bounded ring-buffer event log.
+//!
+//! Events are rare, discrete happenings worth a narrative line in a report
+//! (a circuit-breaker trip, a watchdog rollback, a checkpoint write) — not
+//! per-sample telemetry, which belongs in counters and histograms. The
+//! buffer is bounded: once full, the oldest event is overwritten and the
+//! overwrite is counted, so a long-running process reports recent history
+//! plus an honest "N older events dropped".
+
+use serde::{Deserialize, Serialize};
+
+/// One logged event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Clock reading when the event was recorded, nanoseconds.
+    pub at_ns: u64,
+    /// Event name (slash-taxonomy, e.g. `serve/breaker`).
+    pub name: String,
+    /// Free-form detail line.
+    pub detail: String,
+}
+
+/// Fixed-capacity ring of [`Event`]s, oldest-first on export.
+#[derive(Debug)]
+pub struct EventRing {
+    slots: Vec<Event>,
+    capacity: usize,
+    /// Index the next event will land in once the ring has wrapped.
+    next: usize,
+    /// Events overwritten after the ring filled.
+    dropped: u64,
+}
+
+impl EventRing {
+    /// Ring holding at most `capacity` events (clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            slots: Vec::with_capacity(capacity.min(1024)),
+            capacity,
+            next: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Append an event, overwriting the oldest when full.
+    pub fn push(&mut self, event: Event) {
+        if self.slots.len() < self.capacity {
+            self.slots.push(event);
+        } else {
+            self.slots[self.next] = event;
+            self.next = (self.next + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn to_vec(&self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        out.extend_from_slice(&self.slots[self.next..]);
+        out.extend_from_slice(&self.slots[..self.next]);
+        out
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no event has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(i: u64) -> Event {
+        Event {
+            at_ns: i,
+            name: format!("e{i}"),
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn retains_in_order_before_wrapping() {
+        let mut r = EventRing::new(4);
+        for i in 0..3 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 0);
+        let names: Vec<u64> = r.to_vec().iter().map(|e| e.at_ns).collect();
+        assert_eq!(names, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn wraps_oldest_first_and_counts_drops() {
+        let mut r = EventRing::new(3);
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let at: Vec<u64> = r.to_vec().iter().map(|e| e.at_ns).collect();
+        assert_eq!(at, vec![2, 3, 4], "oldest events were overwritten");
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut r = EventRing::new(0);
+        r.push(ev(1));
+        r.push(ev(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.to_vec()[0].at_ns, 2);
+    }
+}

@@ -1,0 +1,181 @@
+//! Point-in-time JSON-exportable view of a registry.
+
+use crate::events::Event;
+use crate::hist::HistogramSnapshot;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated statistics of one named span.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanReport {
+    /// Span name (slash taxonomy, e.g. `train/forward`).
+    pub name: String,
+    /// Times the span ran.
+    pub count: u64,
+    /// Total time inside the span, nanoseconds.
+    pub total_ns: u64,
+    /// Mean duration, nanoseconds.
+    pub mean_ns: u64,
+    /// Median duration estimate (bucket upper bound), nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile duration estimate (bucket upper bound), nanoseconds.
+    pub p99_ns: u64,
+    /// Longest single run, nanoseconds.
+    pub max_ns: u64,
+    /// The full bucket histogram the estimates derive from.
+    pub hist: HistogramSnapshot,
+}
+
+impl SpanReport {
+    /// Build from a name and a histogram snapshot.
+    pub fn from_snapshot(name: String, hist: HistogramSnapshot) -> Self {
+        Self {
+            count: hist.count,
+            total_ns: hist.sum_ns,
+            mean_ns: hist.mean_ns(),
+            p50_ns: hist.quantile_ns(0.50),
+            p99_ns: hist.quantile_ns(0.99),
+            max_ns: hist.max_ns,
+            name,
+            hist,
+        }
+    }
+}
+
+/// One named counter value.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterReport {
+    /// Counter name.
+    pub name: String,
+    /// Current value.
+    pub value: u64,
+}
+
+/// One named gauge value.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GaugeReport {
+    /// Gauge name.
+    pub name: String,
+    /// Current value.
+    pub value: i64,
+}
+
+/// Everything a registry knows, as plain serializable data. Span, counter,
+/// and gauge lists are sorted by name, so two reports of the same run are
+/// byte-identical regardless of registration order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Report {
+    /// Per-span timing statistics.
+    pub spans: Vec<SpanReport>,
+    /// Counter values.
+    pub counters: Vec<CounterReport>,
+    /// Gauge values.
+    pub gauges: Vec<GaugeReport>,
+    /// Retained events, oldest first.
+    pub events: Vec<Event>,
+    /// Events dropped because the ring was full.
+    pub events_dropped: u64,
+}
+
+impl Report {
+    /// Look up a span by name.
+    pub fn span(&self, name: &str) -> Option<&SpanReport> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Look up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Look up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Serialize to a compact JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("report serializes")
+    }
+
+    /// Parse a report back from [`to_json`](Report::to_json) output.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Render the spans as an aligned, human-readable table (one line per
+    /// span, millisecond units).
+    pub fn format_spans(&self) -> String {
+        let mut out = format!(
+            "{:<32} {:>10} {:>12} {:>10} {:>10} {:>10}\n",
+            "span", "count", "total ms", "mean ms", "p99 ms", "max ms"
+        );
+        for s in &self.spans {
+            let ms = |ns: u64| ns as f64 / 1e6;
+            out.push_str(&format!(
+                "{:<32} {:>10} {:>12.3} {:>10.3} {:>10.3} {:>10.3}\n",
+                s.name,
+                s.count,
+                ms(s.total_ns),
+                ms(s.mean_ns),
+                ms(s.p99_ns),
+                ms(s.max_ns)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let h = Histogram::new();
+        h.record_ns(5_000);
+        h.record_ns(9_000);
+        let report = Report {
+            spans: vec![SpanReport::from_snapshot(
+                "train/forward".into(),
+                h.snapshot(),
+            )],
+            counters: vec![CounterReport {
+                name: "serve/queries".into(),
+                value: 42,
+            }],
+            gauges: vec![GaugeReport {
+                name: "serve/queue_depth".into(),
+                value: -3,
+            }],
+            events: vec![Event {
+                at_ns: 7,
+                name: "serve/breaker".into(),
+                detail: "trip".into(),
+            }],
+            events_dropped: 1,
+        };
+        let back = Report::from_json(&report.to_json()).expect("parse");
+        assert_eq!(back, report);
+        assert_eq!(back.counter("serve/queries"), Some(42));
+        assert_eq!(back.gauge("serve/queue_depth"), Some(-3));
+        assert_eq!(back.span("train/forward").expect("span").count, 2);
+    }
+
+    #[test]
+    fn format_spans_mentions_every_span() {
+        let report = Report {
+            spans: vec![SpanReport::from_snapshot(
+                "pipeline/sample".into(),
+                HistogramSnapshot::default(),
+            )],
+            ..Default::default()
+        };
+        let text = report.format_spans();
+        assert!(text.contains("pipeline/sample"));
+        assert!(text.contains("count"));
+    }
+}

@@ -1,0 +1,64 @@
+//! Property-based tests of histogram snapshot algebra: merging is
+//! commutative and associative, and counts/sums survive a JSON round-trip.
+
+use amdgcnn_obs::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+fn snapshot_from(samples: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &ns in samples {
+        h.record_ns(ns);
+    }
+    h.snapshot()
+}
+
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..2_000_000_000, 0..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_commutative(a in samples(), b in samples()) {
+        let (sa, sb) = (snapshot_from(&a), snapshot_from(&b));
+        prop_assert_eq!(sa.merge(&sb), sb.merge(&sa));
+    }
+
+    #[test]
+    fn merge_is_associative(a in samples(), b in samples(), c in samples()) {
+        let (sa, sb, sc) = (snapshot_from(&a), snapshot_from(&b), snapshot_from(&c));
+        prop_assert_eq!(sa.merge(&sb).merge(&sc), sa.merge(&sb.merge(&sc)));
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one(a in samples(), b in samples()) {
+        let merged = snapshot_from(&a).merge(&snapshot_from(&b));
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(merged, snapshot_from(&all));
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json(a in samples()) {
+        let s = snapshot_from(&a);
+        let json = serde_json::to_string(&s).expect("snapshot serializes");
+        let back: HistogramSnapshot = serde_json::from_str(&json).expect("snapshot parses");
+        prop_assert_eq!(&back, &s);
+        prop_assert_eq!(back.count, a.len() as u64);
+        prop_assert_eq!(back.sum_ns, a.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn invariants_hold(a in samples()) {
+        let s = snapshot_from(&a);
+        prop_assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+        prop_assert_eq!(s.max_ns, a.iter().copied().max().unwrap_or(0));
+        if s.count > 0 {
+            let p50 = s.quantile_ns(0.5);
+            let p99 = s.quantile_ns(0.99);
+            prop_assert!(p50 <= p99, "quantiles must be monotone: {} > {}", p50, p99);
+            prop_assert!(p99 <= s.max_ns.max(1));
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! Versioned model artifacts: one file bundling everything needed to stand
+//! a trained model back up — the [`ModelConfig`] (including the
+//! [`GnnKind`](am_dgcnn::GnnKind)), the feature-construction settings, the
+//! dataset identity, and the parameter checkpoint.
+//!
+//! Format (little-endian, after the JSON header everything is the
+//! [`save_params`] binary format with its own magic/version):
+//!
+//! ```text
+//! magic "AMDM" | u32 version | u32 meta_len | meta JSON
+//!             | u32 header CRC-32 (v2+) | AMDG param blob
+//! ```
+//!
+//! The JSON header keeps the metadata debuggable with `head -c`; the
+//! parameter blob stays binary so checkpoints round-trip bit-exactly.
+//! Since v2 the header carries a CRC-32 and the parameter blob is the
+//! checksummed `AMDG` v2 format, so any single flipped or missing byte in
+//! an artifact is detected at load. v1 files (no checksums) still load.
+//! [`save_model_file`] writes via temp + fsync + atomic rename, so an
+//! artifact path on disk never holds a half-written file.
+
+use am_dgcnn::{DgcnnModel, FeatureConfig, ModelConfig};
+use amdgcnn_data::Dataset;
+use amdgcnn_tensor::durable::{write_atomic, CrcReader, CrcWriter, DiskFault};
+use amdgcnn_tensor::io::{load_params, restore_into, save_params};
+use amdgcnn_tensor::ParamStore;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"AMDM";
+const VERSION: u32 = 2;
+/// Oldest version [`load_model`] still reads (pre-checksum format).
+const MIN_VERSION: u32 = 1;
+
+/// Cap on the header-declared JSON length; a real header is a few hundred
+/// bytes, so anything above this is a corrupt file, not a big model.
+const MAX_META_LEN: usize = 1 << 20;
+
+/// Serializable image of a [`FeatureConfig`].
+///
+/// node2vec tables are deliberately not representable: the paper disables
+/// them for knowledge graphs and they live outside the parameter store, so
+/// an artifact claiming to need them could not be honored. [`save_model`]
+/// rejects such configs instead of silently dropping the table.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FeatureMeta {
+    /// Node-type one-hot width.
+    pub num_node_types: usize,
+    /// DRNL label cap.
+    pub max_drnl: u32,
+}
+
+impl FeatureMeta {
+    /// Rebuild the runtime config (never carries node2vec).
+    pub fn to_config(&self) -> FeatureConfig {
+        FeatureConfig {
+            num_node_types: self.num_node_types,
+            max_drnl: self.max_drnl,
+            node2vec: None,
+        }
+    }
+}
+
+/// Everything about a trained model except the parameter values.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ArtifactMeta {
+    /// Name of the dataset the model was trained on; engines refuse to
+    /// serve a different graph.
+    pub dataset: String,
+    /// Full model architecture (embeds the `GnnKind`).
+    pub model: ModelConfig,
+    /// Feature-construction settings used at training time.
+    pub features: FeatureMeta,
+    /// Epochs the checkpoint had completed, for provenance.
+    pub epochs_trained: usize,
+}
+
+impl ArtifactMeta {
+    /// Describe a trained model: its config plus the dataset/features it
+    /// was trained against.
+    ///
+    /// # Errors
+    /// `InvalidInput` when `features` carries a node2vec table — see
+    /// [`FeatureMeta`].
+    pub fn describe(
+        ds: &Dataset,
+        model_cfg: &ModelConfig,
+        features: &FeatureConfig,
+        epochs_trained: usize,
+    ) -> io::Result<Self> {
+        if features.node2vec.is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "node2vec embeddings cannot be embedded in a model artifact",
+            ));
+        }
+        Ok(Self {
+            dataset: ds.name.to_string(),
+            model: model_cfg.clone(),
+            features: FeatureMeta {
+                num_node_types: features.num_node_types,
+                max_drnl: features.max_drnl,
+            },
+            epochs_trained,
+        })
+    }
+}
+
+/// Write a complete model artifact: metadata header (with CRC-32) +
+/// checksummed parameter checkpoint.
+pub fn save_model<W: Write>(meta: &ArtifactMeta, ps: &ParamStore, w: W) -> io::Result<()> {
+    let meta_json = serde_json::to_vec(meta)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    let mut w = CrcWriter::new(w);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(meta_json.len() as u32).to_le_bytes())?;
+    w.write_all(&meta_json)?;
+    let header_crc = w.total_crc();
+    w.write_unchecked(&header_crc.to_le_bytes())?;
+    save_params(ps, w.into_inner())
+}
+
+/// The old unchecksummed v1 writer, kept only so tests can prove v1 files
+/// still load.
+#[doc(hidden)]
+pub fn save_model_v1_for_tests<W: Write>(
+    meta: &ArtifactMeta,
+    ps: &ParamStore,
+    mut w: W,
+) -> io::Result<()> {
+    let meta_json = serde_json::to_vec(meta)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    w.write_all(MAGIC)?;
+    w.write_all(&1u32.to_le_bytes())?;
+    w.write_all(&(meta_json.len() as u32).to_le_bytes())?;
+    w.write_all(&meta_json)?;
+    amdgcnn_tensor::io::save_params_v1_for_tests(ps, w)
+}
+
+/// Read back an artifact written by [`save_model`] (v2, checksummed) or by
+/// the pre-checksum v1 writer.
+///
+/// All header fields are untrusted: bad magic, unknown versions, oversized
+/// or truncated headers, malformed JSON, and (v2) checksum mismatches all
+/// fail with [`io::ErrorKind::InvalidData`].
+pub fn load_model<R: Read>(r: R) -> io::Result<(ArtifactMeta, ParamStore)> {
+    let mut r = CrcReader::new(r);
+    let mut magic = [0u8; 4];
+    read_exact_invalid(&mut r, &mut magic, "artifact magic")?;
+    if &magic != MAGIC {
+        return Err(invalid("bad artifact magic"));
+    }
+    let version = read_u32(&mut r, "artifact version")?;
+    if !(MIN_VERSION..=VERSION).contains(&version) {
+        return Err(invalid(format!("unsupported artifact version {version}")));
+    }
+    let meta_len = read_u32(&mut r, "metadata length")? as usize;
+    if meta_len > MAX_META_LEN {
+        return Err(invalid(format!("implausible metadata length {meta_len}")));
+    }
+    let mut meta_json = vec![0u8; meta_len];
+    read_exact_invalid(&mut r, &mut meta_json, "metadata")?;
+    if version >= 2 {
+        let expect = r.total_crc();
+        let mut stored = [0u8; 4];
+        r.read_exact_unchecked(&mut stored).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                invalid("artifact truncated while reading header checksum")
+            } else {
+                e
+            }
+        })?;
+        if u32::from_le_bytes(stored) != expect {
+            return Err(invalid("artifact header checksum mismatch"));
+        }
+    }
+    let meta: ArtifactMeta = serde_json::from_slice(&meta_json)
+        .map_err(|e| invalid(format!("bad artifact metadata: {e}")))?;
+    let ps = load_params(&mut r)?;
+    Ok((meta, ps))
+}
+
+/// Durably write an artifact to `path`: serialize, write to a temp file,
+/// fsync, and atomically rename into place, so the path never holds a
+/// half-written artifact even across a crash.
+///
+/// `fault` deterministically injects a durability failure for testing;
+/// pass `None` in production.
+pub fn save_model_file(
+    path: &Path,
+    meta: &ArtifactMeta,
+    ps: &ParamStore,
+    fault: Option<DiskFault>,
+) -> io::Result<()> {
+    let mut buf = Vec::new();
+    save_model(meta, ps, &mut buf)?;
+    write_atomic(path, &buf, fault)
+}
+
+/// Load an artifact from `path` (counterpart of [`save_model_file`]).
+pub fn load_model_file(path: &Path) -> io::Result<(ArtifactMeta, ParamStore)> {
+    let f = std::fs::File::open(path)?;
+    load_model(io::BufReader::new(f))
+}
+
+/// Reconstruct a runnable model from a loaded artifact: build the
+/// architecture from `meta.model`, then overwrite every freshly initialized
+/// parameter with the checkpoint values (verifying names and shapes
+/// position-by-position).
+pub fn instantiate(
+    meta: &ArtifactMeta,
+    loaded: &ParamStore,
+) -> io::Result<(DgcnnModel, ParamStore)> {
+    let mut ps = ParamStore::new();
+    // The RNG only feeds the initial values, all of which restore_into
+    // overwrites; any seed yields the same final parameters.
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = DgcnnModel::new(meta.model.clone(), &mut ps, &mut rng);
+    restore_into(&mut ps, loaded)?;
+    Ok((model, ps))
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn read_exact_invalid<R: Read>(r: &mut R, buf: &mut [u8], what: &str) -> io::Result<()> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            invalid(format!("artifact truncated while reading {what}"))
+        } else {
+            e
+        }
+    })
+}
+
+fn read_u32<R: Read>(r: &mut R, what: &str) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    read_exact_invalid(r, &mut buf, what)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use am_dgcnn::GnnKind;
+    use amdgcnn_tensor::Matrix;
+
+    fn sample_meta() -> ArtifactMeta {
+        ArtifactMeta {
+            dataset: "wn18-like".to_string(),
+            model: ModelConfig::dgcnn_defaults(GnnKind::am_dgcnn(), 16, 18, 18),
+            features: FeatureMeta {
+                num_node_types: 3,
+                max_drnl: 12,
+            },
+            epochs_trained: 7,
+        }
+    }
+
+    fn sample_store() -> ParamStore {
+        let mut ps = ParamStore::new();
+        ps.register("w", Matrix::from_fn(2, 3, |r, c| (r + c) as f32 * 0.25));
+        ps.register("b", Matrix::from_vec(1, 3, vec![1.0, -2.0, 0.5]));
+        ps
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let meta = sample_meta();
+        let ps = sample_store();
+        let mut buf = Vec::new();
+        save_model(&meta, &ps, &mut buf).expect("save");
+        let (meta2, ps2) = load_model(buf.as_slice()).expect("load");
+        assert_eq!(meta, meta2);
+        for (id, value) in ps.iter() {
+            assert_eq!(ps2.name(id), ps.name(id));
+            assert_eq!(value.data(), ps2.get(id).data());
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = Vec::new();
+        save_model(&sample_meta(), &sample_store(), &mut buf).expect("save");
+        buf[0] = b'X';
+        let err = load_model(buf.as_slice()).expect_err("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut buf = Vec::new();
+        save_model(&sample_meta(), &sample_store(), &mut buf).expect("save");
+        buf[4..8].copy_from_slice(&99u32.to_le_bytes());
+        let err = load_model(buf.as_slice()).expect_err("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn truncation_anywhere_is_invalid_data() {
+        let mut buf = Vec::new();
+        save_model(&sample_meta(), &sample_store(), &mut buf).expect("save");
+        for cut in [0, 3, 6, 10, buf.len() / 2, buf.len() - 1] {
+            let err = load_model(&buf[..cut]).expect_err("truncated must fail");
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let mut buf = Vec::new();
+        save_model(&sample_meta(), &sample_store(), &mut buf).expect("save");
+        for pos in 0..buf.len() {
+            let mut corrupt = buf.clone();
+            corrupt[pos] ^= 0x08;
+            assert!(
+                load_model(corrupt.as_slice()).is_err(),
+                "flip at byte {pos} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn v1_artifacts_without_checksums_still_load() {
+        let meta = sample_meta();
+        let ps = sample_store();
+        let mut buf = Vec::new();
+        save_model_v1_for_tests(&meta, &ps, &mut buf).expect("save v1");
+        let (meta2, ps2) = load_model(buf.as_slice()).expect("v1 must load");
+        assert_eq!(meta, meta2);
+        for (id, value) in ps.iter() {
+            assert_eq!(value.data(), ps2.get(id).data());
+        }
+    }
+
+    #[test]
+    fn file_save_is_atomic_and_loads_back() {
+        let path =
+            std::env::temp_dir().join(format!("amdgcnn-artifact-{}.amdm", std::process::id()));
+        let meta = sample_meta();
+        let ps = sample_store();
+        save_model_file(&path, &meta, &ps, None).expect("save file");
+        let (meta2, ps2) = load_model_file(&path).expect("load file");
+        assert_eq!(meta, meta2);
+        assert_eq!(
+            amdgcnn_tensor::io::params_digest(&ps),
+            amdgcnn_tensor::io::params_digest(&ps2)
+        );
+        // No stale temp file remains next to the artifact.
+        let tmp = amdgcnn_tensor::durable::tmp_path(&path);
+        assert!(!tmp.exists(), "temp file must be renamed away");
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn node2vec_configs_are_rejected_at_save_time() {
+        use amdgcnn_graph::node2vec::{node2vec_embeddings, Node2VecConfig};
+        use std::sync::Arc;
+        let ds = amdgcnn_data::wn18_like(&amdgcnn_data::Wn18Config {
+            num_nodes: 40,
+            num_edges: 120,
+            train_links: 10,
+            test_links: 5,
+            ..Default::default()
+        });
+        let mut fcfg = FeatureConfig::for_graph(ds.graph.num_node_types());
+        let emb = node2vec_embeddings(&ds.graph, &Node2VecConfig::default());
+        fcfg.node2vec = Some(Arc::new(emb));
+        let cfg = ModelConfig::dgcnn_defaults(GnnKind::am_dgcnn(), 16, 18, 18);
+        let err = ArtifactMeta::describe(&ds, &cfg, &fcfg, 1).expect_err("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+}

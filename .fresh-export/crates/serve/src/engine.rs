@@ -1,0 +1,424 @@
+//! The inference engine: a loaded model plus the dataset graph, answering
+//! `(u, v)` link queries by extracting the enclosing subgraph on the fly —
+//! exactly the training-time [`prepare_sample`] path — with an LRU cache of
+//! prepared subgraphs (and their memoized, deterministic answers) in front
+//! of the extractor.
+
+use crate::artifact::{instantiate, load_model, ArtifactMeta};
+use crate::stats::{ServerStats, StatsCollector};
+use am_dgcnn::fault::{EngineFault, FaultInjector, TransientFault};
+use am_dgcnn::{prepare_sample, DgcnnModel, FeatureConfig, LinkModel, PreparedSample};
+use amdgcnn_data::{Dataset, LabeledLink};
+use amdgcnn_tensor::{ParamStore, Tape};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::io::{self, Read};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A link query: classify the relation between two node ids of the served
+/// graph.
+pub type LinkQuery = (u32, u32);
+
+/// Class-probability answer for one query (`num_classes` entries, sums
+/// to 1).
+pub type ClassProbs = Vec<f32>;
+
+/// One cached unit of serving work: the prepared subgraph, plus the
+/// forward-pass answer once some batch has computed it.
+///
+/// The engine's parameters are immutable and the forward pass is
+/// deterministic, so a pair's probabilities never change for the lifetime
+/// of the engine — memoizing them next to the subgraph is sound and lets a
+/// repeat query skip the forward pass entirely, not just the extraction.
+struct CacheEntry {
+    sample: PreparedSample,
+    probs: OnceLock<ClassProbs>,
+}
+
+/// Bounded map from query to [`CacheEntry`], evicting the
+/// least-recently-used entry when full.
+///
+/// Subgraph extraction + DRNL + feature building + the forward pass make
+/// up essentially all of single-query latency, so re-serving a recently
+/// seen pair from this cache is the main throughput lever on repeat-heavy
+/// workloads.
+struct LruCache {
+    capacity: usize,
+    map: HashMap<LinkQuery, (Arc<CacheEntry>, u64)>,
+    clock: u64,
+}
+
+impl LruCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1024)),
+            clock: 0,
+        }
+    }
+
+    fn get(&mut self, key: &LinkQuery) -> Option<Arc<CacheEntry>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(key).map(|(v, stamp)| {
+            *stamp = clock;
+            Arc::clone(v)
+        })
+    }
+
+    fn insert(&mut self, key: LinkQuery, value: Arc<CacheEntry>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            // O(n) victim scan: capacities are small (hundreds), and this
+            // only runs on misses that already paid a full extraction.
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| *k)
+            {
+                self.map.remove(&victim);
+            }
+        }
+        self.map.insert(key, (value, self.clock));
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// A loaded model bound to the graph it serves.
+///
+/// The engine is immutable once constructed (the cache and counters use
+/// interior mutability), so it can be shared behind an `Arc` between a
+/// request thread and the batching worker.
+pub struct InferenceEngine {
+    meta: ArtifactMeta,
+    model: DgcnnModel,
+    ps: ParamStore,
+    ds: Dataset,
+    fcfg: FeatureConfig,
+    cache: Mutex<LruCache>,
+    injector: Option<Arc<FaultInjector>>,
+    pub(crate) stats: StatsCollector,
+}
+
+impl InferenceEngine {
+    /// Bind a loaded artifact to the dataset graph it will serve.
+    ///
+    /// # Errors
+    /// `InvalidData` when the artifact was trained on a different dataset
+    /// (by name) or its class count disagrees with the graph's.
+    pub fn new(
+        meta: ArtifactMeta,
+        loaded: &ParamStore,
+        ds: Dataset,
+        cache_capacity: usize,
+    ) -> io::Result<Self> {
+        if meta.dataset != ds.name {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "artifact was trained on dataset {:?} but the engine was \
+                     given {:?}",
+                    meta.dataset, ds.name
+                ),
+            ));
+        }
+        if meta.model.num_classes != ds.num_classes {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "artifact predicts {} classes but the dataset defines {}",
+                    meta.model.num_classes, ds.num_classes
+                ),
+            ));
+        }
+        let (model, ps) = instantiate(&meta, loaded)?;
+        let fcfg = meta.features.to_config();
+        Ok(Self {
+            meta,
+            model,
+            ps,
+            ds,
+            fcfg,
+            cache: Mutex::new(LruCache::new(cache_capacity)),
+            injector: None,
+            stats: StatsCollector::default(),
+        })
+    }
+
+    /// Attach an observability registry: the engine's `serve/*` counters
+    /// and span timers register there, so one report covers serving
+    /// alongside any pipeline stages sharing the handle. Call right after
+    /// construction, before any queries. A disabled handle is upgraded to
+    /// a private enabled registry — [`stats`](InferenceEngine::stats) must
+    /// always count.
+    pub fn with_obs(mut self, obs: amdgcnn_obs::Obs) -> Self {
+        self.stats = StatsCollector::with_obs(obs);
+        self
+    }
+
+    /// The observability registry behind this engine's counters.
+    pub fn obs(&self) -> &amdgcnn_obs::Obs {
+        self.stats.obs()
+    }
+
+    /// Attach a deterministic fault injector: [`try_predict`] calls will
+    /// panic, fail transiently, or run slow on the schedule of the
+    /// injector's plan. Direct [`predict`] calls bypass injection.
+    ///
+    /// [`try_predict`]: InferenceEngine::try_predict
+    /// [`predict`]: InferenceEngine::predict
+    pub fn with_fault_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Read an artifact from `r` and bind it to `ds` in one step.
+    pub fn load<R: Read>(r: R, ds: Dataset, cache_capacity: usize) -> io::Result<Self> {
+        let (meta, loaded) = load_model(r)?;
+        Self::new(meta, &loaded, ds, cache_capacity)
+    }
+
+    /// Artifact metadata this engine was built from.
+    pub fn meta(&self) -> &ArtifactMeta {
+        &self.meta
+    }
+
+    /// The served dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.ds
+    }
+
+    /// Current number of cached prepared subgraphs.
+    pub fn cache_len(&self) -> usize {
+        lock_cache(&self.cache).len()
+    }
+
+    /// Snapshot of the engine's counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats.snapshot()
+    }
+
+    /// Forward pass for a chunk of prepared subgraphs, packed into one
+    /// block-diagonal sparse forward ([`LinkModel::forward_batch`]). The
+    /// packed kernels are bit-identical per sample to the per-sample path,
+    /// so answers still match training-time [`am_dgcnn::predict_probs`]
+    /// bit-for-bit regardless of how queries are chunked.
+    fn forward_chunk(&self, samples: &[&PreparedSample]) -> Vec<ClassProbs> {
+        let mut tape = Tape::new();
+        let logits = self.model.forward_batch(&mut tape, &self.ps, samples, None);
+        logits
+            .into_iter()
+            .map(|l| {
+                let probs = tape.softmax_rows(l);
+                tape.value(probs).row(0).to_vec()
+            })
+            .collect()
+    }
+
+    /// Fallible batch prediction: [`predict`](InferenceEngine::predict)
+    /// plus fault injection, the path the batch worker drives.
+    ///
+    /// Consults the attached [`FaultInjector`] (if any) before doing real
+    /// work: a scheduled panic propagates as a panic (the worker's
+    /// `catch_unwind` isolates it), a transient fault returns `Err` for the
+    /// worker's retry-with-backoff loop, and injected latency sleeps before
+    /// answering. Without an injector this never fails.
+    ///
+    /// # Errors
+    /// [`TransientFault`] when the injector schedules a transient failure
+    /// for this call.
+    pub fn try_predict(&self, queries: &[LinkQuery]) -> Result<Vec<ClassProbs>, TransientFault> {
+        if let Some(inj) = &self.injector {
+            match inj.next_engine_fault() {
+                Some(EngineFault::Panic) => panic!(
+                    "injected fault: worker panic at engine call {}",
+                    inj.engine_calls()
+                ),
+                Some(EngineFault::Transient) => {
+                    return Err(TransientFault {
+                        call: inj.engine_calls(),
+                    })
+                }
+                Some(EngineFault::Latency(d)) => std::thread::sleep(d),
+                None => {}
+            }
+        }
+        Ok(self.predict(queries))
+    }
+
+    /// Answer a batch of link queries: per-query class probabilities, in
+    /// query order.
+    ///
+    /// Duplicate pairs inside the batch are answered once; cache hits skip
+    /// extraction, and hits whose answer was already computed by an earlier
+    /// batch skip the forward pass too. Fresh work fans out across the
+    /// batch. Answers match [`am_dgcnn::predict_probs`] on the same links
+    /// bit-for-bit.
+    pub fn predict(&self, queries: &[LinkQuery]) -> Vec<ClassProbs> {
+        // Dedup while preserving first-seen order.
+        let mut index_of: HashMap<LinkQuery, usize> = HashMap::new();
+        let mut unique: Vec<LinkQuery> = Vec::new();
+        for &q in queries {
+            index_of.entry(q).or_insert_with(|| {
+                unique.push(q);
+                unique.len() - 1
+            });
+        }
+
+        // Resolve cache hits under one short lock; extraction happens
+        // outside it.
+        let resolved: Vec<Option<Arc<CacheEntry>>> = {
+            let mut cache = lock_cache(&self.cache);
+            unique.iter().map(|q| cache.get(q)).collect()
+        };
+
+        // LRU hits and intra-batch dedup both skip extraction but are
+        // counted separately: cache_hit_rate measures the LRU alone, while
+        // dedup_hits credits duplicates that never probed the cache.
+        let lru_hits = resolved.iter().filter(|r| r.is_some()).count() as u64;
+        let fresh = unique.len() as u64 - lru_hits;
+        self.stats.record_cache_misses(fresh);
+        self.stats.record_cache_hits(lru_hits);
+        self.stats
+            .record_dedup_hits((queries.len() - unique.len()) as u64);
+
+        // Extract the missing subgraphs in parallel.
+        let entries: Vec<Arc<CacheEntry>> = resolved
+            .into_par_iter()
+            .zip(unique.par_iter())
+            .map(|(hit, q)| {
+                hit.unwrap_or_else(|| {
+                    // The label field is unused at inference; extraction
+                    // depends only on the endpoints.
+                    let link = LabeledLink {
+                        u: q.0,
+                        v: q.1,
+                        class: 0,
+                    };
+                    Arc::new(CacheEntry {
+                        sample: prepare_sample(&self.ds, &link, &self.fcfg),
+                        probs: OnceLock::new(),
+                    })
+                })
+            })
+            .collect();
+        {
+            let mut cache = lock_cache(&self.cache);
+            for (q, e) in unique.iter().zip(&entries) {
+                cache.insert(*q, Arc::clone(e));
+            }
+        }
+
+        // Forward pass only where no earlier batch has answered already.
+        // Chunks of subgraphs are packed block-diagonally and answered by
+        // one sparse forward each; chunks fan out across rayon.
+        const FORWARD_CHUNK: usize = 32;
+        let need: Vec<&Arc<CacheEntry>> =
+            entries.iter().filter(|e| e.probs.get().is_none()).collect();
+        let chunks: Vec<&[&Arc<CacheEntry>]> = need.chunks(FORWARD_CHUNK).collect();
+        let answers: Vec<ClassProbs> = chunks
+            .par_iter()
+            .map(|chunk| {
+                let samples: Vec<&PreparedSample> = chunk.iter().map(|e| &e.sample).collect();
+                self.forward_chunk(&samples)
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flatten()
+            .collect();
+        for (e, probs) in need.into_iter().zip(answers) {
+            // A concurrent batch may have raced us to the same entry; both
+            // computed identical values, so losing the race is harmless.
+            let _ = e.probs.set(probs);
+        }
+
+        self.stats.record_queries(queries.len() as u64);
+        queries
+            .iter()
+            .map(|q| {
+                entries[index_of[q]]
+                    .probs
+                    .get()
+                    .expect("answer just computed")
+                    .clone()
+            })
+            .collect()
+    }
+
+    /// Answer one query (no batching, still cached).
+    pub fn predict_one(&self, q: LinkQuery) -> ClassProbs {
+        self.predict(std::slice::from_ref(&q))
+            .pop()
+            .expect("one answer per query")
+    }
+}
+
+/// Lock the LRU cache, recovering from poisoning: a worker that panicked
+/// mid-`predict` (between the probe and insert phases) leaves the cache
+/// structurally intact — every entry is either fully inserted or absent —
+/// so continuing with the inner value is sound and keeps one crash from
+/// wedging every future query.
+fn lock_cache(cache: &Mutex<LruCache>) -> std::sync::MutexGuard<'_, LruCache> {
+    cache.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut lru = LruCache::new(2);
+        let s = |n: usize| {
+            Arc::new(CacheEntry {
+                probs: OnceLock::new(),
+                sample: PreparedSample {
+                    features: amdgcnn_tensor::Matrix::zeros(1, 1),
+                    graph: amdgcnn_nn::MessageGraph::from_undirected(1, &[]),
+                    label: n,
+                    num_nodes: 1,
+                    num_edges: 0,
+                    edges: Vec::new(),
+                    drnl: vec![0],
+                },
+            })
+        };
+        lru.insert((0, 1), s(0));
+        lru.insert((0, 2), s(1));
+        assert!(lru.get(&(0, 1)).is_some()); // freshen (0,1)
+        lru.insert((0, 3), s(2)); // evicts (0,2)
+        assert!(lru.get(&(0, 2)).is_none());
+        assert!(lru.get(&(0, 1)).is_some());
+        assert!(lru.get(&(0, 3)).is_some());
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_cache_never_stores() {
+        let mut lru = LruCache::new(0);
+        lru.insert(
+            (1, 2),
+            Arc::new(CacheEntry {
+                probs: OnceLock::new(),
+                sample: PreparedSample {
+                    features: amdgcnn_tensor::Matrix::zeros(1, 1),
+                    graph: amdgcnn_nn::MessageGraph::from_undirected(1, &[]),
+                    label: 0,
+                    num_nodes: 1,
+                    num_edges: 0,
+                    edges: Vec::new(),
+                    drnl: vec![0],
+                },
+            }),
+        );
+        assert_eq!(lru.len(), 0);
+        assert!(lru.get(&(1, 2)).is_none());
+    }
+}

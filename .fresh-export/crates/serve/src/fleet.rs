@@ -1,0 +1,709 @@
+//! The fleet tier: a consistent-hash router over N [`BatchServer`]
+//! replicas, each a full single-server stack (engine + cache + breaker +
+//! supervised worker) loaded from the *same* model artifact.
+//!
+//! ## Why a router over replicas
+//!
+//! A single `BatchServer` is internally hardened but remains one engine on
+//! one thread — a single point of failure and a throughput ceiling.
+//! Enclosing-subgraph inference shards naturally by `(src, dst)` key: a
+//! query's entire working set (the extracted subgraph, its cached answer)
+//! is keyed by the pair, so consistent-hash routing gives each replica a
+//! disjoint hot set. Each replica's LRU then holds its own shard — the
+//! aggregate cache is N× larger with zero coordination — and a replica
+//! loss only reshuffles the keys it owned.
+//!
+//! ## Guarantees
+//!
+//! - **Correctness under failover.** Every replica loads identical
+//!   parameters and the engine forward pass is deterministic, so *any*
+//!   replica's answer for a query is bit-identical to a single server's.
+//!   Failover and hedging can therefore never produce a wrong answer —
+//!   only an answer or a typed [`Error`].
+//! - **The fleet invariant.** For any chaos schedule (crashes, drains,
+//!   tripped breakers, engine faults) that leaves at least one replica
+//!   healthy, every submitted query resolves: correct probabilities or a
+//!   typed error, never a hang. Proven under seeded schedules in
+//!   `tests/fleet_chaos.rs`.
+//! - **Drain without dropped queries.** [`Fleet::drain_replica`] moves a
+//!   replica's still-queued requests (reply channels intact) onto ring
+//!   successors before shutting it down, so a planned removal completes
+//!   without failing a single admitted query.
+//!
+//! ## Mechanics
+//!
+//! A query walks its ring order ([`HashRing::route_order`]): submit to the
+//! first routable replica, fail over to the next on any typed error, and
+//! *hedge* — submit a backup to the next replica while the primary keeps
+//! running — when the primary has not answered within
+//! [`FleetConfig::hedge_after`]. First successful answer wins; duplicated
+//! work is wasted compute, never wrong output.
+
+use crate::engine::{ClassProbs, InferenceEngine, LinkQuery};
+use crate::error::Error;
+use crate::health::{FleetHealth, ReplicaHealth};
+use crate::ring::HashRing;
+use crate::server::{BatchConfig, BatchServer, PendingQuery, Request, RobustnessConfig};
+use crate::stats::ServerStats;
+use am_dgcnn::fault::{FaultInjector, FleetAction};
+use amdgcnn_data::Dataset;
+use amdgcnn_obs::{Counter, Obs, Timer};
+use std::io;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Fleet sizing and policy.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of replicas (each a full [`BatchServer`] over its own engine).
+    pub replicas: usize,
+    /// Virtual nodes per replica on the hash ring.
+    pub vnodes: usize,
+    /// Per-replica LRU capacity (prepared subgraphs + memoized answers).
+    pub cache_capacity: usize,
+    /// Batching policy for every replica.
+    pub batch: BatchConfig,
+    /// Per-replica fault-tolerance policy (queue bound, retries, breaker).
+    pub robust: RobustnessConfig,
+    /// How long to wait on the primary before hedging the query to the
+    /// next ring replica. Bounds tail latency: a replica stuck behind an
+    /// injected (or real) slow call stops being the only path to an
+    /// answer after this long.
+    pub hedge_after: Duration,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            replicas: 3,
+            vnodes: HashRing::DEFAULT_VNODES,
+            cache_capacity: 256,
+            batch: BatchConfig::default(),
+            robust: RobustnessConfig::default(),
+            hedge_after: Duration::from_millis(20),
+        }
+    }
+}
+
+/// One replica slot: the live server (if any) plus drain/generation state.
+struct Slot {
+    server: Option<Arc<BatchServer>>,
+    /// Set while a graceful drain is redistributing this replica's queue;
+    /// the router skips draining replicas for new queries.
+    draining: bool,
+    /// Bumped on every respawn, so reports can distinguish incarnations.
+    generation: u64,
+}
+
+/// Fleet-level counters and the end-to-end query timer, registered under
+/// `fleet/*` in the shared observability registry so a single timing
+/// report covers the router alongside pipeline and per-stage spans.
+struct FleetCounters {
+    queries: Counter,
+    answered: Counter,
+    failed: Counter,
+    failovers: Counter,
+    hedges: Counter,
+    hedge_wins: Counter,
+    crashes: Counter,
+    respawns: Counter,
+    drains: Counter,
+    redistributed: Counter,
+    health_transitions: Counter,
+    query_latency: Timer,
+}
+
+impl FleetCounters {
+    fn new(obs: &Obs) -> Self {
+        Self {
+            queries: obs.counter("fleet/queries"),
+            answered: obs.counter("fleet/answered"),
+            failed: obs.counter("fleet/failed"),
+            failovers: obs.counter("fleet/failovers"),
+            hedges: obs.counter("fleet/hedges"),
+            hedge_wins: obs.counter("fleet/hedge_wins"),
+            crashes: obs.counter("fleet/replica_crashes"),
+            respawns: obs.counter("fleet/replica_respawns"),
+            drains: obs.counter("fleet/replica_drains"),
+            redistributed: obs.counter("fleet/redistributed"),
+            health_transitions: obs.counter("fleet/health_transitions"),
+            query_latency: obs.timer("fleet/query"),
+        }
+    }
+}
+
+/// A fault-tolerant serving fleet: consistent-hash routing, automatic
+/// failover, hedged retries, and live drain/respawn of replicas.
+///
+/// The fleet owns the artifact bytes and dataset, so a crashed replica can
+/// be rebuilt from scratch ([`respawn_replica`](Fleet::respawn_replica))
+/// under live traffic. All replica servers reuse the existing supervisor
+/// machinery — each replica's worker is respawned by its own supervisor on
+/// panics; the fleet only adds the tier above.
+pub struct Fleet {
+    artifact: Arc<Vec<u8>>,
+    ds: Dataset,
+    cfg: FleetConfig,
+    ring: HashRing,
+    slots: Vec<Mutex<Slot>>,
+    injectors: Vec<Option<Arc<FaultInjector>>>,
+    obs: Obs,
+    counters: FleetCounters,
+    last_health: Mutex<FleetHealth>,
+}
+
+/// Polling granularity while racing a primary against its hedge. Small
+/// enough that the winner's extra latency is negligible next to a forward
+/// pass, large enough not to spin.
+const RACE_POLL: Duration = Duration::from_micros(200);
+
+impl Fleet {
+    /// Start `cfg.replicas` replicas, each loading `artifact` against `ds`.
+    ///
+    /// # Errors
+    /// Propagates artifact/engine construction failures (corrupt artifact,
+    /// dataset mismatch) from any replica; no fleet is left half-started.
+    pub fn start(artifact: Vec<u8>, ds: Dataset, cfg: FleetConfig) -> io::Result<Self> {
+        Self::start_with(artifact, ds, cfg, Obs::disabled(), Vec::new())
+    }
+
+    /// Start with an observability registry and per-replica fault
+    /// injectors (index-aligned; shorter vectors leave the remaining
+    /// replicas clean). The injectors persist across respawns: a rebuilt
+    /// replica continues its schedule where the crashed incarnation left
+    /// off, keeping chaos runs deterministic.
+    pub fn start_with(
+        artifact: Vec<u8>,
+        ds: Dataset,
+        cfg: FleetConfig,
+        obs: Obs,
+        injectors: Vec<Arc<FaultInjector>>,
+    ) -> io::Result<Self> {
+        assert!(cfg.replicas > 0, "a fleet needs at least one replica");
+        let mut padded: Vec<Option<Arc<FaultInjector>>> = injectors.into_iter().map(Some).collect();
+        padded.resize(cfg.replicas, None);
+        // FleetStats reads from these counters, so a disabled handle is
+        // upgraded to a private enabled registry — fleet accounting must
+        // always count, observability or not.
+        let obs = if obs.is_enabled() {
+            obs
+        } else {
+            Obs::enabled()
+        };
+        let counters = FleetCounters::new(&obs);
+        let fleet = Self {
+            ring: HashRing::with_vnodes(cfg.replicas, cfg.vnodes),
+            artifact: Arc::new(artifact),
+            ds,
+            slots: (0..cfg.replicas)
+                .map(|_| {
+                    Mutex::new(Slot {
+                        server: None,
+                        draining: false,
+                        generation: 0,
+                    })
+                })
+                .collect(),
+            injectors: padded,
+            obs,
+            counters,
+            last_health: Mutex::new(FleetHealth::Healthy),
+            cfg,
+        };
+        for r in 0..fleet.cfg.replicas {
+            let server = fleet.build_server(r)?;
+            fleet.lock_slot(r).server = Some(Arc::new(server));
+        }
+        Ok(fleet)
+    }
+
+    /// Build a fresh server for replica `r` from the stored artifact.
+    fn build_server(&self, r: usize) -> io::Result<BatchServer> {
+        let mut engine = InferenceEngine::load(
+            self.artifact.as_slice(),
+            self.ds.clone(),
+            self.cfg.cache_capacity,
+        )?;
+        if let Some(inj) = &self.injectors[r] {
+            engine = engine.with_fault_injector(Arc::clone(inj));
+        }
+        Ok(BatchServer::start_with(
+            engine,
+            self.cfg.batch,
+            self.cfg.robust,
+        ))
+    }
+
+    fn lock_slot(&self, r: usize) -> MutexGuard<'_, Slot> {
+        self.slots[r].lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The routing ring (for introspection and tests).
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// The shared observability registry (fleet/* counters and spans).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Number of replica slots (live or not).
+    pub fn replicas(&self) -> usize {
+        self.cfg.replicas
+    }
+
+    /// Primary replica for a query, before any health-based spill.
+    pub fn route(&self, q: LinkQuery) -> usize {
+        self.ring.route(q.0, q.1)
+    }
+
+    /// The server to send new traffic to at slot `r`, if the slot is
+    /// routable. A live replica with an open breaker is still returned:
+    /// its admission gate handles shedding and — crucially — cooldown
+    /// probes, which must come from real traffic.
+    fn routable_server(&self, r: usize) -> Option<Arc<BatchServer>> {
+        let slot = self.lock_slot(r);
+        if slot.draining {
+            return None;
+        }
+        slot.server.as_ref().map(Arc::clone)
+    }
+
+    /// Answer one link query through the fleet: route by consistent hash,
+    /// fail over on typed errors, hedge on tail latency. Returns the
+    /// class probabilities (bit-identical to a single server's answer for
+    /// the same artifact) or the last typed [`Error`] once every live
+    /// replica has been tried.
+    pub fn query(&self, q: LinkQuery) -> Result<ClassProbs, Error> {
+        self.query_with_deadline(q, None)
+    }
+
+    /// Like [`query`](Fleet::query), but each per-replica attempt carries
+    /// a queueing deadline: a replica that cannot schedule the query in
+    /// `deadline` fails that attempt with [`Error::DeadlineExceeded`] and
+    /// the router moves on — a slow replica delays, but cannot absorb, the
+    /// query.
+    pub fn query_with_deadline(
+        &self,
+        q: LinkQuery,
+        deadline: Option<Duration>,
+    ) -> Result<ClassProbs, Error> {
+        let span = self.counters.query_latency.start();
+        self.counters.queries.inc();
+        let outcome = self.query_inner(q, deadline);
+        match &outcome {
+            Ok(_) => self.counters.answered.inc(),
+            Err(_) => self.counters.failed.inc(),
+        }
+        span.finish();
+        outcome
+    }
+
+    fn submit_to(
+        &self,
+        server: &BatchServer,
+        q: LinkQuery,
+        deadline: Option<Duration>,
+    ) -> Result<PendingQuery, Error> {
+        match deadline {
+            Some(d) => server.submit_with_deadline(q, d),
+            None => server.submit(q),
+        }
+    }
+
+    fn query_inner(&self, q: LinkQuery, deadline: Option<Duration>) -> Result<ClassProbs, Error> {
+        let order = self.ring.route_order(q.0, q.1);
+        let mut last_err = Error::FleetUnavailable { attempts: 0 };
+        let mut attempts = 0u32;
+        let mut i = 0usize;
+        while i < order.len() {
+            let r = order[i];
+            i += 1;
+            let Some(server) = self.routable_server(r) else {
+                continue;
+            };
+            if attempts > 0 {
+                // This query is landing somewhere other than where it
+                // would have under full health: a failover, recorded on
+                // the replica that absorbs it and at the fleet level.
+                self.counters.failovers.inc();
+                server.engine().stats.record_failover();
+            }
+            attempts += 1;
+            let pending = match self.submit_to(&server, q, deadline) {
+                Ok(p) => p,
+                Err(e) => {
+                    last_err = e;
+                    continue;
+                }
+            };
+            match pending.wait_timeout(self.cfg.hedge_after) {
+                Some(Ok(probs)) => return Ok(probs),
+                Some(Err(e)) => {
+                    last_err = e;
+                    continue;
+                }
+                None => {
+                    // Tail request: the primary is alive but slow. Hedge to
+                    // the next routable replica and take the first answer;
+                    // both compute identical probabilities, so the race
+                    // can only improve latency, never change the result.
+                    let mut hedge: Option<(PendingQuery, Arc<BatchServer>)> = None;
+                    while i < order.len() && hedge.is_none() {
+                        let hr = order[i];
+                        i += 1;
+                        let Some(backup) = self.routable_server(hr) else {
+                            continue;
+                        };
+                        attempts += 1;
+                        if let Ok(p) = self.submit_to(&backup, q, deadline) {
+                            self.counters.hedges.inc();
+                            backup.engine().stats.record_hedge();
+                            hedge = Some((p, backup));
+                        }
+                    }
+                    match hedge {
+                        Some((backup_pending, backup)) => {
+                            match self.race(&pending, &backup_pending) {
+                                RaceOutcome::Primary(Ok(probs)) => return Ok(probs),
+                                RaceOutcome::Hedge(Ok(probs)) => {
+                                    self.counters.hedge_wins.inc();
+                                    backup.engine().stats.record_hedge_win();
+                                    return Ok(probs);
+                                }
+                                RaceOutcome::Primary(Err(e)) | RaceOutcome::Hedge(Err(e)) => {
+                                    last_err = e;
+                                    continue;
+                                }
+                            }
+                        }
+                        None => match pending.wait() {
+                            Ok(probs) => return Ok(probs),
+                            Err(e) => {
+                                last_err = e;
+                                continue;
+                            }
+                        },
+                    }
+                }
+            }
+        }
+        if attempts == 0 {
+            last_err = Error::FleetUnavailable { attempts: 0 };
+        }
+        Err(last_err)
+    }
+
+    /// Race a primary pending answer against its hedge. Returns the first
+    /// success; if one side fails, blocks on the other; if both fail, the
+    /// later error wins.
+    fn race(&self, primary: &PendingQuery, hedge: &PendingQuery) -> RaceOutcome {
+        let mut primary_done: Option<Result<ClassProbs, Error>> = None;
+        let mut hedge_done: Option<Result<ClassProbs, Error>> = None;
+        loop {
+            if primary_done.is_none() {
+                if let Some(out) = primary.wait_timeout(RACE_POLL) {
+                    if out.is_ok() || hedge_done.is_some() {
+                        return RaceOutcome::Primary(out);
+                    }
+                    primary_done = Some(out);
+                }
+            }
+            if hedge_done.is_none() {
+                if let Some(out) = hedge.wait_timeout(RACE_POLL) {
+                    if out.is_ok() || primary_done.is_some() {
+                        return RaceOutcome::Hedge(out);
+                    }
+                    hedge_done = Some(out);
+                }
+            }
+        }
+    }
+
+    /// Hard-kill replica `r` (chaos "crash"): its queued queries fail with
+    /// [`Error::ServerShutdown`] and their fleet callers immediately fail
+    /// over; nothing drains. A no-op on an already-down slot.
+    pub fn kill_replica(&self, r: usize) {
+        let server = {
+            let mut slot = self.lock_slot(r);
+            slot.draining = false;
+            slot.server.take()
+        };
+        if let Some(server) = server {
+            server.crash();
+            self.counters.crashes.inc();
+            self.obs
+                .event("fleet/replica", || format!("replica {r} crashed"));
+        }
+        self.note_health();
+    }
+
+    /// Rebuild replica `r` from the stored artifact and return it to the
+    /// ring. Its keys flow back automatically (consistent hashing is
+    /// stateless); its fault injector, if any, resumes its schedule. A
+    /// no-op if the slot is already live.
+    ///
+    /// # Errors
+    /// Propagates engine construction failures; the slot stays down.
+    pub fn respawn_replica(&self, r: usize) -> io::Result<()> {
+        if self.lock_slot(r).server.is_some() {
+            return Ok(());
+        }
+        let server = self.build_server(r)?;
+        {
+            let mut slot = self.lock_slot(r);
+            if slot.server.is_some() {
+                // Lost a respawn race; the freshly built server just shuts
+                // down on drop.
+                return Ok(());
+            }
+            slot.server = Some(Arc::new(server));
+            slot.draining = false;
+            slot.generation += 1;
+        }
+        self.counters.respawns.inc();
+        self.obs
+            .event("fleet/replica", || format!("replica {r} respawned"));
+        self.note_health();
+        Ok(())
+    }
+
+    /// Gracefully remove replica `r` under live traffic: stop routing to
+    /// it, move its still-queued requests to ring successors (reply
+    /// channels intact — the callers never see an error), let its
+    /// in-flight batch finish, then shut it down. Returns the number of
+    /// requests redistributed. A no-op (returning 0) on a down slot.
+    pub fn drain_replica(&self, r: usize) -> usize {
+        let server = {
+            let mut slot = self.lock_slot(r);
+            let Some(server) = slot.server.as_ref().map(Arc::clone) else {
+                return 0;
+            };
+            slot.draining = true;
+            server
+        };
+        self.counters.drains.inc();
+        self.obs
+            .event("fleet/replica", || format!("replica {r} draining"));
+        let taken = server.begin_drain_take_queued();
+        let moved = taken.len();
+        for req in taken {
+            self.redistribute(req);
+        }
+        self.counters.redistributed.add(moved as u64);
+        {
+            let mut slot = self.lock_slot(r);
+            slot.server = None;
+            slot.draining = false;
+        }
+        // Dropping our handle lets the server's Drop complete the drain
+        // (join the worker after its in-flight batch) once query threads
+        // release their clones.
+        drop(server);
+        self.note_health();
+        moved
+    }
+
+    /// Re-queue one request taken from a draining replica onto the next
+    /// live replica in its ring order. If no replica can adopt it, the
+    /// caller gets a typed error — redistribution never silently drops a
+    /// request.
+    fn redistribute(&self, req: Request) {
+        let order = self.ring.route_order(req.query.0, req.query.1);
+        let mut req = req;
+        for r in order {
+            let Some(server) = self.routable_server(r) else {
+                continue;
+            };
+            match server.try_adopt(req) {
+                Ok(()) => return,
+                Err((back, _why)) => req = back,
+            }
+        }
+        let _ = req.reply.send(Err(Error::FleetUnavailable { attempts: 0 }));
+    }
+
+    /// Force replica `r`'s circuit breaker open (chaos "open breaker").
+    /// No-op on a down slot.
+    pub fn trip_replica_breaker(&self, r: usize) {
+        if let Some(server) = self.lock_slot(r).server.as_ref() {
+            server.trip_breaker();
+        }
+        self.note_health();
+    }
+
+    /// Apply one chaos action from a [`FleetPlan`] schedule.
+    ///
+    /// [`FleetPlan`]: am_dgcnn::fault::FleetPlan
+    ///
+    /// # Errors
+    /// Only [`FleetAction::Respawn`] can fail (engine rebuild).
+    pub fn apply(&self, action: FleetAction) -> io::Result<()> {
+        match action {
+            FleetAction::Crash { replica } => {
+                self.kill_replica(replica);
+                Ok(())
+            }
+            FleetAction::Respawn { replica } => self.respawn_replica(replica),
+            FleetAction::Drain { replica } => {
+                self.drain_replica(replica);
+                Ok(())
+            }
+            FleetAction::TripBreaker { replica } => {
+                self.trip_replica_breaker(replica);
+                Ok(())
+            }
+        }
+    }
+
+    /// Current health of each replica slot.
+    pub fn replica_health(&self) -> Vec<ReplicaHealth> {
+        (0..self.cfg.replicas)
+            .map(|r| {
+                let slot = self.lock_slot(r);
+                match (&slot.server, slot.draining) {
+                    (None, _) => ReplicaHealth::Down,
+                    (Some(_), true) => ReplicaHealth::Draining,
+                    (Some(s), false) if s.breaker_open() => ReplicaHealth::Impaired,
+                    (Some(_), false) => ReplicaHealth::Up,
+                }
+            })
+            .collect()
+    }
+
+    /// Current fleet-level health (the fold of [`replica_health`]).
+    ///
+    /// [`replica_health`]: Fleet::replica_health
+    pub fn health(&self) -> FleetHealth {
+        FleetHealth::from_replicas(&self.replica_health())
+    }
+
+    /// Re-derive fleet health and record a transition event if it moved.
+    fn note_health(&self) {
+        let now = self.health();
+        let mut last = self.last_health.lock().unwrap_or_else(|e| e.into_inner());
+        if *last != now {
+            let from = *last;
+            *last = now;
+            drop(last);
+            self.counters.health_transitions.inc();
+            self.obs
+                .event("fleet/health", || format!("{from} -> {now}"));
+        }
+    }
+
+    /// Snapshot of fleet counters, per-replica stats, and the merged view.
+    pub fn stats(&self) -> FleetStats {
+        let replica_stats: Vec<Option<ServerStats>> = (0..self.cfg.replicas)
+            .map(|r| self.lock_slot(r).server.as_ref().map(|s| s.stats()))
+            .collect();
+        let merged = replica_stats
+            .iter()
+            .flatten()
+            .fold(ServerStats::default(), |acc, s| acc.merge(s));
+        let lat = self.counters.query_latency.snapshot();
+        FleetStats {
+            health: self.health(),
+            replica_health: self.replica_health(),
+            queries: self.counters.queries.get(),
+            answered: self.counters.answered.get(),
+            failed: self.counters.failed.get(),
+            failovers: self.counters.failovers.get(),
+            hedges: self.counters.hedges.get(),
+            hedge_wins: self.counters.hedge_wins.get(),
+            crashes: self.counters.crashes.get(),
+            respawns: self.counters.respawns.get(),
+            drains: self.counters.drains.get(),
+            redistributed: self.counters.redistributed.get(),
+            health_transitions: self.counters.health_transitions.get(),
+            p50_query_latency: Duration::from_nanos(lat.quantile_ns(0.50)),
+            p99_query_latency: Duration::from_nanos(lat.quantile_ns(0.99)),
+            replicas: replica_stats,
+            merged,
+        }
+    }
+
+    /// Shut down every live replica, draining their queues. Idempotent;
+    /// takes `&self` so shared fleets (behind `Arc`) can be stopped too.
+    pub fn shutdown(&self) {
+        for r in 0..self.cfg.replicas {
+            let server = self.lock_slot(r).server.take();
+            if let Some(server) = server {
+                server.begin_shutdown();
+                drop(server);
+            }
+        }
+    }
+}
+
+enum RaceOutcome {
+    Primary(Result<ClassProbs, Error>),
+    Hedge(Result<ClassProbs, Error>),
+}
+
+/// Point-in-time view of the fleet: router counters, health, end-to-end
+/// latency quantiles, and per-replica [`ServerStats`] with their merged
+/// fold.
+#[derive(Debug, Clone)]
+pub struct FleetStats {
+    /// Fleet-level health at snapshot time.
+    pub health: FleetHealth,
+    /// Per-slot replica health.
+    pub replica_health: Vec<ReplicaHealth>,
+    /// Queries submitted to the fleet.
+    pub queries: u64,
+    /// Queries answered with probabilities.
+    pub answered: u64,
+    /// Queries resolved with a typed error after exhausting live replicas.
+    pub failed: u64,
+    /// Attempts that landed on a non-primary replica after a failure.
+    pub failovers: u64,
+    /// Hedged (tail-latency backup) submissions.
+    pub hedges: u64,
+    /// Hedges that answered before their primary.
+    pub hedge_wins: u64,
+    /// Replicas hard-killed.
+    pub crashes: u64,
+    /// Replicas rebuilt and returned to the ring.
+    pub respawns: u64,
+    /// Replicas gracefully drained.
+    pub drains: u64,
+    /// Queued requests moved to a sibling replica during drains.
+    pub redistributed: u64,
+    /// Fleet health state changes observed.
+    pub health_transitions: u64,
+    /// Median end-to-end fleet query latency (includes failover/hedging).
+    pub p50_query_latency: Duration,
+    /// 99th-percentile end-to-end fleet query latency.
+    pub p99_query_latency: Duration,
+    /// Per-replica snapshots (`None` for down slots).
+    pub replicas: Vec<Option<ServerStats>>,
+    /// All live replicas' stats merged ([`ServerStats::merge`]).
+    pub merged: ServerStats,
+}
+
+impl std::fmt::Display for FleetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fleet {}: {}/{} answered ({} failed), p50 {:?} p99 {:?}, \
+             {} failovers, {} hedges ({} won), {} crashes / {} respawns / \
+             {} drains ({} redistributed), {} health transitions",
+            self.health,
+            self.answered,
+            self.queries,
+            self.failed,
+            self.p50_query_latency,
+            self.p99_query_latency,
+            self.failovers,
+            self.hedges,
+            self.hedge_wins,
+            self.crashes,
+            self.respawns,
+            self.drains,
+            self.redistributed,
+            self.health_transitions
+        )
+    }
+}

@@ -1,0 +1,207 @@
+//! Consistent-hash ring routing `(src, dst)` link queries to replicas.
+//!
+//! Each replica owns [`HashRing::vnodes_per_replica`] *virtual nodes*:
+//! pseudo-random points on a `u64` circle. A query key hashes to a point
+//! and is owned by the first virtual node clockwise from it. Virtual nodes
+//! smooth the load (one physical replica's share is the union of many
+//! small arcs, not one big one) and give consistent hashing its defining
+//! property: adding or removing a replica only remaps the keys that land
+//! on that replica's arcs — every other key keeps its owner. Both
+//! properties are proptested in `tests/ring_props.rs`.
+//!
+//! The ring is routing policy only: it never learns about replica health.
+//! The fleet walks [`HashRing::route_order`] — the full failover sequence
+//! for a key — and skips replicas it knows to be down, so a crashed
+//! replica's keys spill to their ring successors and spring back the
+//! moment the replica is respawned, with no rehashing in either direction.
+
+use std::collections::BTreeMap;
+
+/// FNV-1a, the 64-bit offset-basis/prime pair. A keyed hash is not needed
+/// here (queries are internal node-id pairs, not attacker-controlled
+/// strings); what matters is determinism across processes and a uniform
+/// spread, both of which FNV-1a provides without any dependency.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Ring position of one virtual node of `replica`.
+fn vnode_point(replica: usize, vnode: usize) -> u64 {
+    let mut bytes = [0u8; 17];
+    bytes[0] = 0x52; // 'R': domain-separate vnode points from query keys
+    bytes[1..9].copy_from_slice(&(replica as u64).to_le_bytes());
+    bytes[9..17].copy_from_slice(&(vnode as u64).to_le_bytes());
+    fnv1a(&bytes)
+}
+
+/// Ring position of a `(src, dst)` query key.
+pub fn key_point(src: u32, dst: u32) -> u64 {
+    let mut bytes = [0u8; 9];
+    bytes[0] = 0x51; // 'Q'
+    bytes[1..5].copy_from_slice(&src.to_le_bytes());
+    bytes[5..9].copy_from_slice(&dst.to_le_bytes());
+    fnv1a(&bytes)
+}
+
+/// A consistent-hash ring over replica indices `0..n`.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Virtual-node point → owning replica. BTreeMap gives the clockwise
+    /// successor lookup (`range(point..)`) directly.
+    points: BTreeMap<u64, usize>,
+    vnodes: usize,
+    replicas: usize,
+}
+
+impl HashRing {
+    /// Default virtual nodes per replica: enough that with a handful of
+    /// replicas the largest share stays within a small factor of fair (see
+    /// the balance proptest), cheap enough that ring construction is
+    /// negligible next to replica startup.
+    pub const DEFAULT_VNODES: usize = 128;
+
+    /// Ring over `replicas` replicas with [`Self::DEFAULT_VNODES`] virtual
+    /// nodes each.
+    pub fn new(replicas: usize) -> Self {
+        Self::with_vnodes(replicas, Self::DEFAULT_VNODES)
+    }
+
+    /// Ring with an explicit virtual-node count (tests dial it down to
+    /// exercise imbalance, up to tighten it).
+    pub fn with_vnodes(replicas: usize, vnodes: usize) -> Self {
+        assert!(replicas > 0, "a ring needs at least one replica");
+        assert!(vnodes > 0, "each replica needs at least one virtual node");
+        let mut ring = Self {
+            points: BTreeMap::new(),
+            vnodes,
+            replicas: 0,
+        };
+        for r in 0..replicas {
+            ring.add_replica(r);
+        }
+        ring
+    }
+
+    /// Number of physical replicas currently on the ring.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Virtual nodes per replica.
+    pub fn vnodes_per_replica(&self) -> usize {
+        self.vnodes
+    }
+
+    /// Place `replica`'s virtual nodes on the ring (idempotent: re-adding
+    /// re-inserts the same deterministic points).
+    pub fn add_replica(&mut self, replica: usize) {
+        let mut added = false;
+        for v in 0..self.vnodes {
+            // On the astronomically unlikely event two vnodes collide on a
+            // point, first writer keeps it; the loser just has one fewer
+            // arc, which the balance bound absorbs.
+            added |= *self
+                .points
+                .entry(vnode_point(replica, v))
+                .or_insert(replica)
+                == replica;
+        }
+        if added {
+            self.replicas += 1;
+        }
+    }
+
+    /// Remove `replica`'s virtual nodes. Keys owned by other replicas are
+    /// untouched — the minimal-remap property under proptest.
+    pub fn remove_replica(&mut self, replica: usize) {
+        let before = self.points.len();
+        self.points.retain(|_, r| *r != replica);
+        if self.points.len() != before {
+            self.replicas -= 1;
+        }
+        assert!(
+            !self.points.is_empty(),
+            "removing the last replica leaves the ring unroutable"
+        );
+    }
+
+    /// The replica owning `(src, dst)`: the first virtual node clockwise
+    /// from the key's point, wrapping at the top of the `u64` circle.
+    pub fn route(&self, src: u32, dst: u32) -> usize {
+        let point = key_point(src, dst);
+        *self
+            .points
+            .range(point..)
+            .next()
+            .or_else(|| self.points.iter().next())
+            .expect("ring is never empty")
+            .1
+    }
+
+    /// Failover order for `(src, dst)`: every replica exactly once, primary
+    /// first, then ring successors in clockwise order. The fleet walks this
+    /// sequence skipping dead replicas, so the spill target of a down
+    /// primary is deterministic for a given key.
+    pub fn route_order(&self, src: u32, dst: u32) -> Vec<usize> {
+        let point = key_point(src, dst);
+        let mut order = Vec::with_capacity(self.replicas);
+        let mut seen = vec![false; self.points.values().copied().max().unwrap_or(0) + 1];
+        for (_, &r) in self.points.range(point..).chain(self.points.iter()) {
+            if !seen[r] {
+                seen[r] = true;
+                order.push(r);
+                if order.len() == self.replicas {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_is_deterministic_and_in_range() {
+        let ring = HashRing::new(4);
+        for k in 0..200u32 {
+            let r = ring.route(k, k.wrapping_mul(7));
+            assert!(r < 4);
+            assert_eq!(r, ring.route(k, k.wrapping_mul(7)));
+        }
+    }
+
+    #[test]
+    fn route_order_is_a_permutation_starting_at_primary() {
+        let ring = HashRing::new(5);
+        for k in 0..50u32 {
+            let order = ring.route_order(k, k + 1);
+            assert_eq!(order.len(), 5);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+            assert_eq!(order[0], ring.route(k, k + 1));
+        }
+    }
+
+    #[test]
+    fn single_replica_owns_everything() {
+        let ring = HashRing::new(1);
+        for k in 0..64u32 {
+            assert_eq!(ring.route(k, 1000 - k), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn empty_ring_is_rejected() {
+        let _ = HashRing::new(0);
+    }
+}

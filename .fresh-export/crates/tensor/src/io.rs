@@ -1,0 +1,455 @@
+//! Parameter checkpointing: save/load a [`ParamStore`] to a compact
+//! self-describing binary format (no external serialization dependency —
+//! little-endian, versioned, name-checked on load).
+//!
+//! Format (version 2):
+//! ```text
+//! magic "AMDG" | u32 version | u32 param count |
+//!   per param: u32 name len | name bytes | u32 rows | u32 cols | f32 data...
+//!              | u32 section CRC-32
+//! | u32 footer CRC-32
+//! ```
+//!
+//! Each parameter record carries a CRC-32 over its own bytes, and the file
+//! ends with a CRC-32 over every header and record byte, so a torn write or
+//! a flipped bit anywhere in the file is detected at load time instead of
+//! silently corrupting a model. Version 1 files (no checksums) remain
+//! loadable.
+
+use crate::durable::{crc32, CrcReader, CrcWriter, DiskFault};
+use crate::matrix::Matrix;
+use crate::param::ParamStore;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"AMDG";
+/// Current write-side format version (checksummed records + footer).
+const VERSION: u32 = 2;
+/// Oldest version [`load_params`] still reads (pre-checksum format).
+const MIN_VERSION: u32 = 1;
+
+/// Hard ceilings on header-declared sizes. A checkpoint we write ourselves
+/// stays far below all of them; anything above is a corrupt or hostile file
+/// and is rejected before memory is committed to it.
+const MAX_PARAMS: usize = 1 << 20;
+const MAX_NAME_LEN: usize = 1 << 16;
+const MAX_ELEMS: usize = 1 << 28;
+
+/// Elements per chunked read while streaming tensor data in. Allocation
+/// grows only as bytes actually arrive, so a header that lies about
+/// `rows * cols` hits end-of-stream long before exhausting memory.
+const READ_CHUNK_ELEMS: usize = 16 * 1024;
+
+/// Serialize every parameter (ids are positional, names included for
+/// verification), with per-record and whole-file CRC-32 checksums.
+pub fn save_params<W: Write>(ps: &ParamStore, w: W) -> io::Result<()> {
+    let mut w = CrcWriter::new(w);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(ps.len() as u32).to_le_bytes())?;
+    for (id, value) in ps.iter() {
+        w.reset_section();
+        let name = ps.name(id).as_bytes();
+        w.write_all(&(name.len() as u32).to_le_bytes())?;
+        w.write_all(name)?;
+        w.write_all(&(value.rows() as u32).to_le_bytes())?;
+        w.write_all(&(value.cols() as u32).to_le_bytes())?;
+        for &v in value.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        let section = w.section_crc();
+        w.write_unchecked(&section.to_le_bytes())?;
+    }
+    let footer = w.total_crc();
+    w.write_unchecked(&footer.to_le_bytes())?;
+    Ok(())
+}
+
+/// Serialize a [`ParamStore`] to `path` crash-safely (write-to-temp +
+/// fsync + atomic rename). `fault` is the deterministic durability fault
+/// to inject, for testing recovery paths; pass `None` in production.
+pub fn save_params_file(path: &Path, ps: &ParamStore, fault: Option<DiskFault>) -> io::Result<()> {
+    let mut buf = Vec::new();
+    save_params(ps, &mut buf)?;
+    crate::durable::write_atomic(path, &buf, fault)
+}
+
+/// Load a [`ParamStore`] from `path`, verifying checksums.
+pub fn load_params_file(path: &Path) -> io::Result<ParamStore> {
+    load_params(io::BufReader::new(std::fs::File::open(path)?))
+}
+
+/// Deserialize into a fresh [`ParamStore`]. Ids are assigned in file order,
+/// which matches the registration order of an identically constructed
+/// model.
+///
+/// Every header field is treated as untrusted: counts and shapes are capped,
+/// data is read in bounded chunks, and a stream that ends before the header's
+/// promise is kept fails with [`io::ErrorKind::InvalidData`] — never a bare
+/// `UnexpectedEof` and never an allocation sized by the corrupt header. For
+/// version-2 files every record checksum and the footer checksum are
+/// verified, so any single corrupted byte in the payload is rejected;
+/// version-1 files load without checksum verification.
+pub fn load_params<R: Read>(r: R) -> io::Result<ParamStore> {
+    let mut r = CrcReader::new(r);
+    let mut magic = [0u8; 4];
+    read_exact_checked(&mut r, &mut magic, "magic")?;
+    if &magic != MAGIC {
+        return Err(invalid("bad magic"));
+    }
+    let version = read_u32(&mut r, "version")?;
+    if !(MIN_VERSION..=VERSION).contains(&version) {
+        return Err(invalid(format!("unsupported checkpoint version {version}")));
+    }
+    let checksummed = version >= 2;
+    let count = read_u32(&mut r, "parameter count")? as usize;
+    if count > MAX_PARAMS {
+        return Err(invalid(format!("implausible parameter count {count}")));
+    }
+    let mut ps = ParamStore::new();
+    for idx in 0..count {
+        r.reset_section();
+        let name_len = read_u32(&mut r, "name length")? as usize;
+        if name_len > MAX_NAME_LEN {
+            return Err(invalid(format!(
+                "implausible name length {name_len} for parameter {idx}"
+            )));
+        }
+        let mut name = vec![0u8; name_len];
+        read_exact_checked(&mut r, &mut name, "parameter name")?;
+        let name = String::from_utf8(name).map_err(|_| invalid("non-utf8 name"))?;
+        let rows = read_u32(&mut r, "rows")? as usize;
+        let cols = read_u32(&mut r, "cols")? as usize;
+        let total = rows.saturating_mul(cols);
+        if total > MAX_ELEMS {
+            return Err(invalid(format!(
+                "implausible tensor size {rows}x{cols} for {name}"
+            )));
+        }
+        let mut data: Vec<f32> = Vec::new();
+        let mut byte_buf = vec![0u8; READ_CHUNK_ELEMS * 4];
+        let mut remaining = total;
+        while remaining > 0 {
+            let n = remaining.min(READ_CHUNK_ELEMS);
+            read_exact_checked(&mut r, &mut byte_buf[..n * 4], "tensor data")?;
+            data.extend(
+                byte_buf[..n * 4]
+                    .chunks_exact(4)
+                    .map(|b| f32::from_le_bytes(b.try_into().expect("4-byte chunk"))),
+            );
+            remaining -= n;
+        }
+        if checksummed {
+            let expect = r.section_crc();
+            let stored = read_crc(&mut r, "record checksum")?;
+            if stored != expect {
+                return Err(invalid(format!(
+                    "checksum mismatch in parameter {name}: stored {stored:#010x}, \
+                     computed {expect:#010x}"
+                )));
+            }
+        }
+        ps.register(name, Matrix::from_vec(rows, cols, data));
+    }
+    if checksummed {
+        let expect = r.total_crc();
+        let stored = read_crc(&mut r, "footer checksum")?;
+        if stored != expect {
+            return Err(invalid(format!(
+                "footer checksum mismatch: stored {stored:#010x}, computed {expect:#010x}"
+            )));
+        }
+    }
+    Ok(ps)
+}
+
+/// Copy parameter values from `loaded` into `target`, verifying that
+/// names and shapes line up position-by-position (i.e. the two stores were
+/// built by the same model constructor).
+pub fn restore_into(target: &mut ParamStore, loaded: &ParamStore) -> io::Result<()> {
+    if target.len() != loaded.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "parameter count mismatch: {} vs {}",
+                target.len(),
+                loaded.len()
+            ),
+        ));
+    }
+    for (id, value) in loaded.iter() {
+        if target.name(id) != loaded.name(id) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "parameter {} name mismatch: {} vs {}",
+                    id.0,
+                    target.name(id),
+                    loaded.name(id)
+                ),
+            ));
+        }
+        if target.get(id).shape() != value.shape() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("parameter {} shape mismatch", loaded.name(id)),
+            ));
+        }
+        target.set(id, (**value).clone());
+    }
+    Ok(())
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// `read_exact` that reports a short stream as corrupt data (the header
+/// promised more bytes than exist) instead of a bare `UnexpectedEof`.
+fn read_exact_checked<R: Read>(r: &mut R, buf: &mut [u8], what: &str) -> io::Result<()> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            invalid(format!("checkpoint truncated while reading {what}"))
+        } else {
+            e
+        }
+    })
+}
+
+fn read_u32<R: Read>(r: &mut R, what: &str) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    read_exact_checked(r, &mut buf, what)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Read a stored CRC value without folding it into the running checksums.
+fn read_crc<R: Read>(r: &mut CrcReader<R>, what: &str) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact_unchecked(&mut buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            invalid(format!("checkpoint truncated while reading {what}"))
+        } else {
+            e
+        }
+    })?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Serialize a store exactly as format version 1 did (no checksums).
+/// Only used by tests to prove backward compatibility; real writes always
+/// use the current version.
+#[doc(hidden)]
+pub fn save_params_v1_for_tests<W: Write>(ps: &ParamStore, mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&1u32.to_le_bytes())?;
+    w.write_all(&(ps.len() as u32).to_le_bytes())?;
+    for (id, value) in ps.iter() {
+        let name = ps.name(id).as_bytes();
+        w.write_all(&(name.len() as u32).to_le_bytes())?;
+        w.write_all(name)?;
+        w.write_all(&(value.rows() as u32).to_le_bytes())?;
+        w.write_all(&(value.cols() as u32).to_le_bytes())?;
+        for &v in value.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// CRC-32 of a serialized store — the cheap way for callers to compare two
+/// checkpoints for bit-identity.
+pub fn params_digest(ps: &ParamStore) -> u32 {
+    let mut buf = Vec::new();
+    save_params(ps, &mut buf).expect("in-memory save cannot fail");
+    crc32(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> ParamStore {
+        let mut ps = ParamStore::new();
+        ps.register(
+            "layer.weight",
+            Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32 * 0.5),
+        );
+        ps.register(
+            "layer.bias",
+            Matrix::from_vec(1, 4, vec![-1.0, 0.0, 1.0, 2.5]),
+        );
+        ps
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let ps = sample_store();
+        let mut buf = Vec::new();
+        save_params(&ps, &mut buf).expect("save");
+        let loaded = load_params(buf.as_slice()).expect("load");
+        assert_eq!(loaded.len(), ps.len());
+        for (id, value) in ps.iter() {
+            assert_eq!(loaded.name(id), ps.name(id));
+            assert_eq!(**loaded.get(id), **value);
+        }
+    }
+
+    #[test]
+    fn restore_into_matching_store() {
+        let trained = sample_store();
+        let mut buf = Vec::new();
+        save_params(&trained, &mut buf).expect("save");
+        let loaded = load_params(buf.as_slice()).expect("load");
+
+        // Fresh store with identical structure but different values.
+        let mut fresh = ParamStore::new();
+        fresh.register("layer.weight", Matrix::zeros(3, 4));
+        fresh.register("layer.bias", Matrix::zeros(1, 4));
+        restore_into(&mut fresh, &loaded).expect("restore");
+        assert_eq!(
+            **fresh.get(crate::param::ParamId(0)),
+            **trained.get(crate::param::ParamId(0))
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = load_params(&b"NOPE"[..]).expect_err("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_stream_rejected_as_invalid_data() {
+        let ps = sample_store();
+        let mut buf = Vec::new();
+        save_params(&ps, &mut buf).expect("save");
+        // Truncate at every prefix length: the loader must always report
+        // corrupt data, never leak a bare UnexpectedEof.
+        for cut in 0..buf.len() {
+            let err = load_params(&buf[..cut]).expect_err("truncated must fail");
+            assert_eq!(
+                err.kind(),
+                io::ErrorKind::InvalidData,
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let ps = sample_store();
+        let mut buf = Vec::new();
+        save_params(&ps, &mut buf).expect("save");
+        for pos in 0..buf.len() {
+            let mut corrupt = buf.clone();
+            corrupt[pos] ^= 0x10;
+            let err = load_params(corrupt.as_slice())
+                .expect_err("a flipped byte must never load cleanly");
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "flip at {pos}");
+        }
+    }
+
+    #[test]
+    fn v1_files_without_checksums_still_load() {
+        let ps = sample_store();
+        let mut v1 = Vec::new();
+        save_params_v1_for_tests(&ps, &mut v1).expect("save v1");
+        let loaded = load_params(v1.as_slice()).expect("v1 load");
+        assert_eq!(loaded.len(), ps.len());
+        for (id, value) in ps.iter() {
+            assert_eq!(**loaded.get(id), **value);
+        }
+    }
+
+    #[test]
+    fn lying_count_header_rejected_without_huge_alloc() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd param count
+        let err = load_params(buf.as_slice()).expect_err("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("parameter count"), "{err}");
+    }
+
+    #[test]
+    fn lying_shape_header_rejected() {
+        // One parameter whose header claims a 65536x65536 tensor but whose
+        // data section is empty: both the size cap and the chunked read
+        // must keep this from allocating gigabytes.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(b'w');
+        buf.extend_from_slice(&65536u32.to_le_bytes());
+        buf.extend_from_slice(&65536u32.to_le_bytes());
+        let err = load_params(buf.as_slice()).expect_err("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // A merely-large claim below the cap still fails fast on truncation
+        // instead of allocating the full claimed size up front.
+        let mut buf2 = Vec::new();
+        buf2.extend_from_slice(MAGIC);
+        buf2.extend_from_slice(&VERSION.to_le_bytes());
+        buf2.extend_from_slice(&1u32.to_le_bytes());
+        buf2.extend_from_slice(&1u32.to_le_bytes());
+        buf2.push(b'w');
+        buf2.extend_from_slice(&4096u32.to_le_bytes());
+        buf2.extend_from_slice(&4096u32.to_le_bytes());
+        let err = load_params(buf2.as_slice()).expect_err("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn restore_rejects_shape_mismatch() {
+        let trained = sample_store();
+        let mut buf = Vec::new();
+        save_params(&trained, &mut buf).expect("save");
+        let loaded = load_params(buf.as_slice()).expect("load");
+        let mut wrong = ParamStore::new();
+        wrong.register("layer.weight", Matrix::zeros(3, 4));
+        wrong.register("layer.bias", Matrix::zeros(1, 5)); // wrong width
+        assert!(restore_into(&mut wrong, &loaded).is_err());
+    }
+
+    #[test]
+    fn restore_rejects_name_mismatch() {
+        let trained = sample_store();
+        let mut buf = Vec::new();
+        save_params(&trained, &mut buf).expect("save");
+        let loaded = load_params(buf.as_slice()).expect("load");
+        let mut wrong = ParamStore::new();
+        wrong.register("other.weight", Matrix::zeros(3, 4));
+        wrong.register("layer.bias", Matrix::zeros(1, 4));
+        assert!(restore_into(&mut wrong, &loaded).is_err());
+    }
+
+    #[test]
+    fn digest_distinguishes_stores() {
+        let a = sample_store();
+        let mut b = sample_store();
+        assert_eq!(params_digest(&a), params_digest(&b));
+        b.update(crate::param::ParamId(0), |m| m.set(0, 0, 99.0));
+        assert_ne!(params_digest(&a), params_digest(&b));
+    }
+
+    #[test]
+    fn file_roundtrip_is_atomic_and_checksummed() {
+        let dir = std::env::temp_dir().join(format!("amdgcnn-io-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("dir");
+        let path = dir.join("params.ckpt");
+        let ps = sample_store();
+        save_params_file(&path, &ps, None).expect("save");
+        let loaded = load_params_file(&path).expect("load");
+        assert_eq!(params_digest(&loaded), params_digest(&ps));
+
+        // A torn write is detected at load, not silently accepted.
+        save_params_file(&path, &ps, Some(DiskFault::TornWrite)).expect("write");
+        let err = load_params_file(&path).expect_err("torn file must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

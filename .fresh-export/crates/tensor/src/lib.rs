@@ -1,0 +1,57 @@
+//! # amdgcnn-tensor
+//!
+//! Dense `f32` matrix algebra, sparse CSR operators, small dense linear
+//! algebra, and tape-based reverse-mode automatic differentiation — the
+//! numeric substrate underneath the AM-DGCNN reproduction.
+//!
+//! Design notes:
+//!
+//! * Everything is 2-D. GNN workloads over enclosing subgraphs decompose
+//!   into node-major `[N, F]`, edge-major `[E, F]`, and channel-major
+//!   `[C, L]` matrices; full tensor-rank generality would buy nothing.
+//! * Parallelism follows the rayon idiom: kernels above a FLOP threshold
+//!   fan output rows out over the global pool ([`matmul::PAR_FLOP_THRESHOLD`]),
+//!   and the autodiff [`autograd::Tape`] is strictly per-sample so training
+//!   batches parallelize at the sample level with zero shared mutable state.
+//! * Determinism: all randomness flows through explicit [`rand::rngs::StdRng`]
+//!   seeds (see [`init`]).
+//!
+//! # Example: reverse-mode autodiff
+//!
+//! ```
+//! use amdgcnn_tensor::{Matrix, ParamStore, Tape};
+//!
+//! // loss = mean((x·W)²) — gradient flows back to W.
+//! let mut params = ParamStore::new();
+//! let w = params.register("w", Matrix::eye(2));
+//!
+//! let mut tape = Tape::new();
+//! let wv = tape.param(w, params.get(w).clone());
+//! let x = tape.leaf(Matrix::row_vector(&[3.0, -1.0]));
+//! let y = tape.matmul(x, wv);
+//! let y2 = tape.mul(y, y);
+//! let loss = tape.mean_all(y2);
+//!
+//! let grads = tape.backward(loss, params.len());
+//! let gw = grads.get(w).expect("W participates in the loss");
+//! // d/dW_00 of (x·W)_0² / 2 = x_0 · 2·(x·W)_0 / 2 = 3 · 3 = 9.
+//! assert!((gw.get(0, 0) - 9.0).abs() < 1e-5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod autograd;
+pub mod durable;
+pub mod init;
+pub mod io;
+pub mod linalg;
+pub mod matmul;
+pub mod matrix;
+pub mod param;
+pub mod sparse;
+
+pub use autograd::{Conv1dSpec, Tape, Var};
+pub use durable::{crc32, write_atomic, DiskFault};
+pub use matrix::Matrix;
+pub use param::{GradStore, ParamId, ParamStore};
+pub use sparse::{CsrGraph, CsrMatrix, Reduce};

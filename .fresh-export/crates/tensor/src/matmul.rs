@@ -1,0 +1,346 @@
+//! Matrix-multiplication kernels.
+//!
+//! Three variants cover every contraction reverse-mode autodiff needs
+//! without materializing transposes:
+//!
+//! * [`matmul`]    — `C = A · B`
+//! * [`matmul_nt`] — `C = A · Bᵀ`
+//! * [`matmul_tn`] — `C = Aᵀ · B`
+//!
+//! All kernels use an i-k-j loop order (row-major friendly, auto-vectorizes)
+//! and fan the output rows out over rayon once the FLOP count crosses
+//! [`PAR_FLOP_THRESHOLD`]; below it the sequential kernel wins because the
+//! fork/join overhead dominates.
+
+use crate::matrix::Matrix;
+use rayon::prelude::*;
+
+/// Minimum `m * n * k` product before the parallel kernel is used.
+pub const PAR_FLOP_THRESHOLD: usize = 64 * 64 * 64;
+
+/// `C = A · B`.
+///
+/// # Panics
+/// Panics if `A.cols() != B.rows()`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul: inner dimension mismatch {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    if m * n * k >= PAR_FLOP_THRESHOLD {
+        out.data_mut()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, orow)| mm_row(a.row(i), b, orow));
+    } else {
+        for i in 0..m {
+            let (arow, orow) = (a.row(i), row_of(&mut out, i, n));
+            mm_row(arow, b, orow);
+        }
+    }
+    out
+}
+
+/// `C = A · Bᵀ` (dot products of rows of `A` with rows of `B`).
+///
+/// # Panics
+/// Panics if `A.cols() != B.cols()`.
+pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_nt: inner dimension mismatch {:?} x {:?}ᵀ",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k) = a.shape();
+    let n = b.rows();
+    let mut out = Matrix::zeros(m, n);
+    let body = |i: usize, orow: &mut [f32]| {
+        let arow = a.row(i);
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = b.row(j);
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += arow[p] * brow[p];
+            }
+            *o = acc;
+        }
+    };
+    if m * n * k >= PAR_FLOP_THRESHOLD {
+        out.data_mut()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, orow)| body(i, orow));
+    } else {
+        for i in 0..m {
+            body(i, row_of(&mut out, i, n));
+        }
+    }
+    out
+}
+
+/// `C = Aᵀ · B`.
+///
+/// # Panics
+/// Panics if `A.rows() != B.rows()`.
+pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "matmul_tn: inner dimension mismatch {:?}ᵀ x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let k = a.rows();
+    let m = a.cols();
+    let n = b.cols();
+    // Accumulate outer products row-by-row of the shared dimension; this
+    // keeps both inputs streaming in row-major order.
+    if m * n * k >= PAR_FLOP_THRESHOLD {
+        // Split the shared dimension across threads, then reduce.
+        let chunk = (k / rayon::current_num_threads().max(1)).max(16);
+        let partials: Vec<Matrix> = (0..k)
+            .into_par_iter()
+            .chunks(chunk)
+            .map(|rows| {
+                let mut local = Matrix::zeros(m, n);
+                for p in rows {
+                    accumulate_outer(&mut local, a.row(p), b.row(p));
+                }
+                local
+            })
+            .collect();
+        let mut out = Matrix::zeros(m, n);
+        for part in &partials {
+            out.add_assign(part);
+        }
+        out
+    } else {
+        let mut out = Matrix::zeros(m, n);
+        for p in 0..k {
+            accumulate_outer(&mut out, a.row(p), b.row(p));
+        }
+        out
+    }
+}
+
+/// `C = A · B` through the dense reference kernel.
+///
+/// Unlike [`matmul`], no zero-entry shortcut is taken: every one of the
+/// `m·n·k` multiply-adds is performed. Numerically the result is identical
+/// to [`matmul`] (skipped terms contribute exactly `+0.0`), but the cost is
+/// the full dense FLOP count regardless of input sparsity. This is the
+/// faithful cost model for dense formulations — the dense adjacency-matmul
+/// GCN baseline the sparse kernels are benchmarked against — and the
+/// reference the g-SpMM kernels are property-tested under.
+///
+/// # Panics
+/// Panics if `A.cols() != B.rows()`.
+pub fn matmul_dense(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul_dense: inner dimension mismatch {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    if m * n * k >= PAR_FLOP_THRESHOLD {
+        out.data_mut()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, orow)| mm_row_dense(a.row(i), b, orow));
+    } else {
+        for i in 0..m {
+            let (arow, orow) = (a.row(i), row_of(&mut out, i, n));
+            mm_row_dense(arow, b, orow);
+        }
+    }
+    out
+}
+
+/// One output row of `A · B`: `orow += arow · B`.
+#[inline]
+fn mm_row(arow: &[f32], b: &Matrix, orow: &mut [f32]) {
+    let n = b.cols();
+    for (p, &av) in arow.iter().enumerate() {
+        if av == 0.0 {
+            continue; // node-feature matrices are often one-hot sparse
+        }
+        let brow = b.row(p);
+        for j in 0..n {
+            orow[j] += av * brow[j];
+        }
+    }
+}
+
+/// One output row of `A · B` with no zero-skip: the dense reference path.
+#[inline]
+fn mm_row_dense(arow: &[f32], b: &Matrix, orow: &mut [f32]) {
+    let n = b.cols();
+    for (p, &av) in arow.iter().enumerate() {
+        let brow = b.row(p);
+        for j in 0..n {
+            orow[j] += av * brow[j];
+        }
+    }
+}
+
+/// `out += arow ⊗ brow` where `arow` indexes output rows.
+#[inline]
+fn accumulate_outer(out: &mut Matrix, arow: &[f32], brow: &[f32]) {
+    let n = out.cols();
+    for (i, &av) in arow.iter().enumerate() {
+        if av == 0.0 {
+            continue;
+        }
+        let orow = &mut out.data_mut()[i * n..(i + 1) * n];
+        for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+            *o += av * bv;
+        }
+    }
+}
+
+#[inline]
+fn row_of(out: &mut Matrix, i: usize, n: usize) -> &mut [f32] {
+    &mut out.data_mut()[i * n..(i + 1) * n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+    fn random(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_fn(rows, cols, |_, _| rng.random_range(-1.0f32..1.0))
+    }
+
+    /// Naive reference O(mnk) triple loop.
+    fn reference(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for p in 0..a.cols() {
+                    acc += a.get(i, p) * b.get(p, j);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_matches_reference_small() {
+        let a = random(5, 7, 1);
+        let b = random(7, 3, 2);
+        assert!(matmul(&a, &b).max_abs_diff(&reference(&a, &b)) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_matches_reference_parallel_path() {
+        let a = random(80, 90, 3);
+        let b = random(90, 70, 4);
+        const _: () = assert!(80 * 90 * 70 >= PAR_FLOP_THRESHOLD);
+        assert!(matmul(&a, &b).max_abs_diff(&reference(&a, &b)) < 1e-3);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = random(6, 6, 5);
+        assert!(matmul(&a, &Matrix::eye(6)).max_abs_diff(&a) < 1e-6);
+        assert!(matmul(&Matrix::eye(6), &a).max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn nt_equals_explicit_transpose() {
+        let a = random(4, 6, 6);
+        let b = random(9, 6, 7);
+        let expect = reference(&a, &b.transpose());
+        assert!(matmul_nt(&a, &b).max_abs_diff(&expect) < 1e-4);
+    }
+
+    #[test]
+    fn nt_parallel_path() {
+        let a = random(80, 80, 8);
+        let b = random(80, 80, 9);
+        let expect = reference(&a, &b.transpose());
+        assert!(matmul_nt(&a, &b).max_abs_diff(&expect) < 1e-3);
+    }
+
+    #[test]
+    fn tn_equals_explicit_transpose() {
+        let a = random(6, 4, 10);
+        let b = random(6, 5, 11);
+        let expect = reference(&a.transpose(), &b);
+        assert!(matmul_tn(&a, &b).max_abs_diff(&expect) < 1e-4);
+    }
+
+    #[test]
+    fn tn_parallel_path() {
+        let a = random(128, 64, 12);
+        let b = random(128, 64, 13);
+        let expect = reference(&a.transpose(), &b);
+        assert!(matmul_tn(&a, &b).max_abs_diff(&expect) < 1e-3);
+    }
+
+    #[test]
+    fn rectangular_chains_associate() {
+        // (A·B)·C == A·(B·C) up to float tolerance.
+        let a = random(3, 8, 14);
+        let b = random(8, 5, 15);
+        let c = random(5, 2, 16);
+        let left = matmul(&matmul(&a, &b), &c);
+        let right = matmul(&a, &matmul(&b, &c));
+        assert!(left.max_abs_diff(&right) < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul")]
+    fn dimension_mismatch_panics() {
+        let _ = matmul(&Matrix::zeros(2, 3), &Matrix::zeros(4, 2));
+    }
+
+    #[test]
+    fn dense_kernel_matches_zero_skip_kernel_bitwise() {
+        // The zero-skip only ever omits exact `+0.0` terms, so both
+        // kernels must agree bit-for-bit — including on sparse inputs.
+        let mut a = random(30, 40, 18);
+        for (i, v) in a.data_mut().iter_mut().enumerate() {
+            if i % 3 != 0 {
+                *v = 0.0;
+            }
+        }
+        let b = random(40, 20, 19);
+        assert_eq!(matmul_dense(&a, &b).data(), matmul(&a, &b).data());
+    }
+
+    #[test]
+    fn dense_kernel_parallel_path_matches_reference() {
+        let a = random(80, 90, 20);
+        let b = random(90, 70, 21);
+        assert!(matmul_dense(&a, &b).max_abs_diff(&reference(&a, &b)) < 1e-3);
+    }
+
+    #[test]
+    fn one_hot_rows_select_columns() {
+        // One-hot lhs row picks out a row of B — the common node-feature case.
+        let mut a = Matrix::zeros(2, 4);
+        a.set(0, 2, 1.0);
+        a.set(1, 0, 1.0);
+        let b = random(4, 3, 17);
+        let c = matmul(&a, &b);
+        assert_eq!(c.row(0), b.row(2));
+        assert_eq!(c.row(1), b.row(0));
+    }
+}

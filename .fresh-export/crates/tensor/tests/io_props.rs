@@ -1,0 +1,109 @@
+//! Property tests for the binary checkpoint format: any parameter store
+//! survives a save/load round trip bit-exactly, and header corruption is
+//! always reported as invalid data.
+
+use amdgcnn_tensor::io::{load_params, restore_into, save_params};
+use amdgcnn_tensor::{Matrix, ParamStore};
+use proptest::prelude::*;
+
+/// A strategy for small parameter stores: 1–5 named matrices with random
+/// shapes and values (including negatives, zeros, and subnormal-ish
+/// magnitudes).
+fn arb_store() -> impl Strategy<Value = ParamStore> {
+    proptest::collection::vec((1usize..6, 1usize..6, 0u32..u32::MAX), 1..6).prop_map(|shapes| {
+        let mut ps = ParamStore::new();
+        for (i, (rows, cols, seed)) in shapes.into_iter().enumerate() {
+            let m = Matrix::from_fn(rows, cols, |r, c| {
+                // Deterministic pseudo-random values across several orders
+                // of magnitude, sign included.
+                let x = seed
+                    .wrapping_mul(2654435761)
+                    .wrapping_add((r * 31 + c * 7) as u32);
+                (x as f32 / u32::MAX as f32 - 0.5) * 2e3
+            });
+            ps.register(format!("param.{i}"), m);
+        }
+        ps
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn save_load_roundtrip_is_bit_exact(ps in arb_store()) {
+        let mut buf = Vec::new();
+        save_params(&ps, &mut buf).expect("save");
+        let loaded = load_params(buf.as_slice()).expect("load");
+        prop_assert_eq!(loaded.len(), ps.len());
+        for (id, value) in ps.iter() {
+            prop_assert_eq!(loaded.name(id), ps.name(id));
+            prop_assert_eq!(loaded.get(id).shape(), value.shape());
+            // Bit-exact, not approximately-equal: compare raw bits so that
+            // -0.0 vs 0.0 or rounding drift would be caught.
+            let a: Vec<u32> = value.data().iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = loaded.get(id).data().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn any_truncation_is_invalid_data(ps in arb_store(), frac in 0.0f64..1.0) {
+        let mut buf = Vec::new();
+        save_params(&ps, &mut buf).expect("save");
+        let cut = ((buf.len() as f64) * frac) as usize;
+        prop_assume!(cut < buf.len());
+        let err = load_params(&buf[..cut]).expect_err("truncated must fail");
+        prop_assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn corrupt_magic_is_rejected(ps in arb_store(), byte in 0usize..4, bit in 0u8..8) {
+        let mut buf = Vec::new();
+        save_params(&ps, &mut buf).expect("save");
+        buf[byte] ^= 1 << bit;
+        let err = load_params(buf.as_slice()).expect_err("bad magic must fail");
+        prop_assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn any_single_byte_flip_is_invalid_data(
+        ps in arb_store(),
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut buf = Vec::new();
+        save_params(&ps, &mut buf).expect("save");
+        let pos = (((buf.len() - 1) as f64) * pos_frac) as usize;
+        buf[pos] ^= 1 << bit;
+        // Since v2 every byte is covered by a section or footer CRC, so
+        // corruption anywhere — names, shapes, values, checksums — must be
+        // detected rather than silently loaded.
+        let err = load_params(buf.as_slice()).expect_err("corrupt must fail");
+        prop_assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn restore_into_rejects_renamed_params(ps in arb_store()) {
+        let mut buf = Vec::new();
+        save_params(&ps, &mut buf).expect("save");
+        let loaded = load_params(buf.as_slice()).expect("load");
+
+        // Same shapes, different names: must be refused.
+        let mut renamed = ParamStore::new();
+        for (id, value) in ps.iter() {
+            renamed.register(format!("other.{}", id.0), Matrix::zeros(value.rows(), value.cols()));
+        }
+        prop_assert!(restore_into(&mut renamed, &loaded).is_err());
+
+        // Identical structure: must succeed and copy every value.
+        let mut fresh = ParamStore::new();
+        for (id, value) in ps.iter() {
+            fresh.register(ps.name(id).to_string(), Matrix::zeros(value.rows(), value.cols()));
+        }
+        restore_into(&mut fresh, &loaded).expect("restore");
+        for (id, value) in ps.iter() {
+            prop_assert_eq!(fresh.get(id).data(), value.data());
+        }
+    }
+}

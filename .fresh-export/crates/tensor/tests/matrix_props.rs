@@ -1,0 +1,104 @@
+//! Property-based tests of the dense matrix algebra: ring/vector-space
+//! laws, transpose identities, and reduction consistency.
+
+use amdgcnn_tensor::{matmul, Matrix};
+use proptest::prelude::*;
+
+fn mat(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+const TOL: f32 = 1e-2;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn addition_is_commutative_and_associative(a in mat(3, 4), b in mat(3, 4), c in mat(3, 4)) {
+        prop_assert!(a.add(&b).max_abs_diff(&b.add(&a)) < TOL);
+        prop_assert!(a.add(&b).add(&c).max_abs_diff(&a.add(&b.add(&c))) < TOL);
+    }
+
+    #[test]
+    fn subtraction_inverts_addition(a in mat(2, 5), b in mat(2, 5)) {
+        prop_assert!(a.add(&b).sub(&b).max_abs_diff(&a) < TOL);
+    }
+
+    #[test]
+    fn scalar_distributes(a in mat(3, 3), b in mat(3, 3), alpha in -5.0f32..5.0) {
+        let left = a.add(&b).scale(alpha);
+        let right = a.scale(alpha).add(&b.scale(alpha));
+        prop_assert!(left.max_abs_diff(&right) < TOL);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(a in mat(3, 4), b in mat(4, 2), c in mat(4, 2)) {
+        let left = matmul::matmul(&a, &b.add(&c));
+        let right = matmul::matmul(&a, &b).add(&matmul::matmul(&a, &c));
+        prop_assert!(left.max_abs_diff(&right) < 1e-1);
+    }
+
+    #[test]
+    fn transpose_of_product(a in mat(3, 4), b in mat(4, 2)) {
+        let left = matmul::matmul(&a, &b).transpose();
+        let right = matmul::matmul(&b.transpose(), &a.transpose());
+        prop_assert!(left.max_abs_diff(&right) < 1e-1);
+    }
+
+    #[test]
+    fn nt_tn_consistency(a in mat(3, 5), b in mat(4, 5), c in mat(3, 2)) {
+        // A·Bᵀ computed two ways.
+        let direct = matmul::matmul_nt(&a, &b);
+        let explicit = matmul::matmul(&a, &b.transpose());
+        prop_assert!(direct.max_abs_diff(&explicit) < 1e-1);
+        // Aᵀ·C computed two ways.
+        let direct = matmul::matmul_tn(&a, &c);
+        let explicit = matmul::matmul(&a.transpose(), &c);
+        prop_assert!(direct.max_abs_diff(&explicit) < 1e-1);
+    }
+
+    #[test]
+    fn row_and_col_sums_agree_with_total(a in mat(4, 6)) {
+        let total = a.sum();
+        prop_assert!((a.sum_rows().sum() - total).abs() < 1e-2);
+        prop_assert!((a.sum_cols().sum() - total).abs() < 1e-2);
+    }
+
+    #[test]
+    fn gather_then_scatter_identity_on_distinct_indices(a in mat(6, 3)) {
+        // Gathering all rows in order then scattering back is the identity.
+        let idx: Vec<usize> = (0..6).collect();
+        let g = a.gather_rows(&idx);
+        let s = g.scatter_add_rows(&idx, 6);
+        prop_assert!(s.max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn softmax_rows_is_stochastic(a in mat(5, 4)) {
+        let s = a.softmax_rows();
+        for r in 0..5 {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(r).iter().all(|&v| v >= 0.0));
+        }
+        // Shift invariance.
+        let shifted = a.map(|v| v + 7.5).softmax_rows();
+        prop_assert!(s.max_abs_diff(&shifted) < 1e-4);
+    }
+
+    #[test]
+    fn concat_cols_preserves_content(a in mat(3, 2), b in mat(3, 3)) {
+        let cat = Matrix::concat_cols(&[&a, &b]);
+        prop_assert_eq!(cat.shape(), (3, 5));
+        for r in 0..3 {
+            prop_assert_eq!(&cat.row(r)[..2], a.row(r));
+            prop_assert_eq!(&cat.row(r)[2..], b.row(r));
+        }
+    }
+
+    #[test]
+    fn norm_triangle_inequality(a in mat(4, 4), b in mat(4, 4)) {
+        prop_assert!(a.add(&b).norm() <= a.norm() + b.norm() + 1e-3);
+    }
+}

@@ -1,0 +1,306 @@
+//! Gaussian-process regression surrogate over the unit hypercube
+//! (RBF kernel, exact inference via Cholesky) — the model underneath the
+//! Centralized Bayesian Optimization strategy the paper selects in
+//! DeepHyper (§III-D).
+
+use amdgcnn_tensor::{linalg, Matrix};
+
+/// GP hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GpConfig {
+    /// RBF length scale (unit-cube coordinates).
+    pub length_scale: f64,
+    /// Signal variance σ²_f.
+    pub signal_var: f64,
+    /// Observation-noise variance σ²_n (also the jitter keeping the kernel
+    /// matrix positive definite).
+    pub noise_var: f64,
+}
+
+impl Default for GpConfig {
+    fn default() -> Self {
+        Self {
+            length_scale: 0.3,
+            signal_var: 1.0,
+            noise_var: 1e-4,
+        }
+    }
+}
+
+/// Posterior prediction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Posterior {
+    /// Posterior mean.
+    pub mean: f64,
+    /// Posterior standard deviation (≥ 0).
+    pub std: f64,
+}
+
+/// Fitted Gaussian process over observed `(x, y)` pairs.
+pub struct GaussianProcess {
+    cfg: GpConfig,
+    xs: Vec<Vec<f64>>,
+    /// Mean of the raw targets (the GP is fit on centered targets).
+    y_mean: f64,
+    /// Cholesky factor of `K + σ²_n I`.
+    chol: Matrix,
+    /// `(K + σ²_n I)^{-1} (y - ȳ)`.
+    alpha: Matrix,
+}
+
+impl GaussianProcess {
+    /// Fit on observations. Returns `None` when no observations are given
+    /// or the kernel matrix fails to factor.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], cfg: GpConfig) -> Option<Self> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return None;
+        }
+        let n = xs.len();
+        let y_mean = ys.iter().sum::<f64>() / n as f64;
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut v = rbf(&xs[i], &xs[j], &cfg);
+                if i == j {
+                    v += cfg.noise_var;
+                }
+                k.set(i, j, v as f32);
+            }
+        }
+        let chol = linalg::cholesky(&k).ok()?;
+        let y = Matrix::from_vec(n, 1, ys.iter().map(|&v| (v - y_mean) as f32).collect());
+        let tmp = linalg::solve_lower(&chol, &y).ok()?;
+        let alpha = linalg::solve_lower_transpose(&chol, &tmp).ok()?;
+        Some(Self {
+            cfg,
+            xs: xs.to_vec(),
+            y_mean,
+            chol,
+            alpha,
+        })
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// True when fitted on nothing (cannot happen through [`Self::fit`]).
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Posterior at a query point.
+    pub fn predict(&self, x: &[f64]) -> Posterior {
+        let n = self.xs.len();
+        let kstar = Matrix::from_vec(
+            n,
+            1,
+            self.xs
+                .iter()
+                .map(|xi| rbf(xi, x, &self.cfg) as f32)
+                .collect(),
+        );
+        let mut mean = self.y_mean;
+        for i in 0..n {
+            mean += (kstar.get(i, 0) * self.alpha.get(i, 0)) as f64;
+        }
+        // var = k(x,x) - ||L^{-1} k*||².
+        let v = linalg::solve_lower(&self.chol, &kstar).expect("factor is valid");
+        let mut var = self.cfg.signal_var + self.cfg.noise_var;
+        for i in 0..n {
+            var -= (v.get(i, 0) as f64).powi(2);
+        }
+        Posterior {
+            mean,
+            std: var.max(0.0).sqrt(),
+        }
+    }
+}
+
+fn rbf(a: &[f64], b: &[f64], cfg: &GpConfig) -> f64 {
+    let d2: f64 = a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum();
+    cfg.signal_var * (-d2 / (2.0 * cfg.length_scale * cfg.length_scale)).exp()
+}
+
+/// Standard normal PDF.
+pub fn normal_pdf(z: f64) -> f64 {
+    (-(z * z) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation
+/// (max abs error ~1.5e-7 — far below anything acquisition ranking needs).
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Expected improvement of a maximization problem at posterior `p` over the
+/// current best observed value.
+pub fn expected_improvement(p: Posterior, best: f64, xi: f64) -> f64 {
+    if p.std <= 1e-12 {
+        return (p.mean - best - xi).max(0.0);
+    }
+    let z = (p.mean - best - xi) / p.std;
+    (p.mean - best - xi) * normal_cdf(z) + p.std * normal_pdf(z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_xs() -> Vec<Vec<f64>> {
+        vec![vec![0.0], vec![0.25], vec![0.5], vec![0.75], vec![1.0]]
+    }
+
+    #[test]
+    fn interpolates_observations() {
+        let xs = grid_xs();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0] * 3.0).sin()).collect();
+        let gp = GaussianProcess::fit(&xs, &ys, GpConfig::default()).expect("fit");
+        for (x, &y) in xs.iter().zip(ys.iter()) {
+            let p = gp.predict(x);
+            assert!((p.mean - y).abs() < 0.05, "at {x:?}: {} vs {y}", p.mean);
+            assert!(
+                p.std < 0.1,
+                "posterior at data should be confident, got {}",
+                p.std
+            );
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let xs = vec![vec![0.5]];
+        let ys = vec![1.0];
+        let gp = GaussianProcess::fit(&xs, &ys, GpConfig::default()).expect("fit");
+        let near = gp.predict(&[0.5]);
+        let far = gp.predict(&[0.0]);
+        assert!(
+            far.std > near.std * 2.0,
+            "near {} far {}",
+            near.std,
+            far.std
+        );
+    }
+
+    #[test]
+    fn mean_reverts_to_prior_far_from_data() {
+        // Two observations with mean 0.5: a distant query's posterior mean
+        // falls back toward 0.5, while at-data predictions stay extreme.
+        let xs = vec![vec![0.45], vec![0.55]];
+        let ys = vec![0.0, 1.0];
+        let gp = GaussianProcess::fit(&xs, &ys, GpConfig::default()).expect("fit");
+        let far = gp.predict(&[-3.0]);
+        assert!((far.mean - 0.5).abs() < 0.05, "far mean {}", far.mean);
+        let at_high = gp.predict(&[0.55]);
+        assert!(at_high.mean > 0.8, "at-data mean {}", at_high.mean);
+    }
+
+    #[test]
+    fn empty_fit_rejected() {
+        assert!(GaussianProcess::fit(&[], &[], GpConfig::default()).is_none());
+    }
+
+    #[test]
+    fn cdf_properties() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!(normal_cdf(5.0) > 0.999_999);
+        assert!(normal_cdf(-5.0) < 1e-6);
+        // Symmetry.
+        for z in [0.3, 1.0, 2.2] {
+            assert!((normal_cdf(z) + normal_cdf(-z) - 1.0).abs() < 1e-6);
+        }
+        // Known value Φ(1) ≈ 0.841345.
+        assert!((normal_cdf(1.0) - 0.841_345).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ei_prefers_uncertain_or_promising() {
+        let best = 0.5;
+        let promising = expected_improvement(
+            Posterior {
+                mean: 0.8,
+                std: 0.1,
+            },
+            best,
+            0.0,
+        );
+        let poor_certain = expected_improvement(
+            Posterior {
+                mean: 0.2,
+                std: 1e-15,
+            },
+            best,
+            0.0,
+        );
+        let poor_uncertain = expected_improvement(
+            Posterior {
+                mean: 0.2,
+                std: 0.5,
+            },
+            best,
+            0.0,
+        );
+        assert!(promising > poor_uncertain);
+        assert!(poor_uncertain > poor_certain);
+        assert_eq!(poor_certain, 0.0);
+    }
+
+    #[test]
+    fn ei_is_monotone_in_mean_and_std() {
+        let best = 0.0;
+        let e1 = expected_improvement(
+            Posterior {
+                mean: 0.1,
+                std: 0.2,
+            },
+            best,
+            0.0,
+        );
+        let e2 = expected_improvement(
+            Posterior {
+                mean: 0.3,
+                std: 0.2,
+            },
+            best,
+            0.0,
+        );
+        assert!(e2 > e1);
+        let e3 = expected_improvement(
+            Posterior {
+                mean: 0.1,
+                std: 0.4,
+            },
+            best,
+            0.0,
+        );
+        assert!(e3 > e1);
+    }
+
+    #[test]
+    fn two_dimensional_fit() {
+        let xs: Vec<Vec<f64>> = (0..16)
+            .map(|i| vec![(i % 4) as f64 / 3.0, (i / 4) as f64 / 3.0])
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| -(x[0] - 0.5).powi(2) - (x[1] - 0.5).powi(2))
+            .collect();
+        let gp = GaussianProcess::fit(&xs, &ys, GpConfig::default()).expect("fit");
+        // The fitted surface must rank the center above a corner.
+        let center = gp.predict(&[0.5, 0.5]).mean;
+        let corner = gp.predict(&[0.0, 0.0]).mean;
+        assert!(center > corner);
+    }
+}

@@ -1,0 +1,237 @@
+//! Hyperparameter search-space description (the Table I space: log-uniform
+//! learning rate, categorical hidden dimension, integer sort-k range).
+
+use rand::{rngs::StdRng, RngExt};
+
+/// One search dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamSpec {
+    /// Log-uniform continuous range `[lo, hi]` (e.g. learning rates).
+    LogUniform {
+        /// Lower bound (> 0).
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Categorical choice over explicit values.
+    Choice(Vec<f64>),
+    /// Uniform integer range `[lo, hi]` inclusive.
+    IntRange {
+        /// Lower bound.
+        lo: i64,
+        /// Upper bound.
+        hi: i64,
+    },
+}
+
+impl ParamSpec {
+    /// Sample a raw value.
+    pub fn sample(&self, rng: &mut StdRng) -> f64 {
+        match self {
+            ParamSpec::LogUniform { lo, hi } => {
+                let (l, h) = (lo.ln(), hi.ln());
+                (l + rng.random::<f64>() * (h - l)).exp()
+            }
+            ParamSpec::Choice(values) => values[rng.random_range(0..values.len())],
+            ParamSpec::IntRange { lo, hi } => rng.random_range(*lo..=*hi) as f64,
+        }
+    }
+
+    /// Map a raw value into `[0, 1]` (the GP's coordinate system).
+    pub fn to_unit(&self, value: f64) -> f64 {
+        match self {
+            ParamSpec::LogUniform { lo, hi } => (value.ln() - lo.ln()) / (hi.ln() - lo.ln()),
+            ParamSpec::Choice(values) => {
+                let idx = values
+                    .iter()
+                    .position(|&v| v == value)
+                    .expect("value not in choice list");
+                if values.len() <= 1 {
+                    0.5
+                } else {
+                    idx as f64 / (values.len() - 1) as f64
+                }
+            }
+            ParamSpec::IntRange { lo, hi } => {
+                if hi == lo {
+                    0.5
+                } else {
+                    (value - *lo as f64) / (*hi - *lo) as f64
+                }
+            }
+        }
+    }
+
+    /// Map a unit-cube coordinate back to a valid raw value (rounded /
+    /// snapped as the spec requires).
+    pub fn from_unit(&self, unit: f64) -> f64 {
+        let u = unit.clamp(0.0, 1.0);
+        match self {
+            ParamSpec::LogUniform { lo, hi } => (lo.ln() + u * (hi.ln() - lo.ln())).exp(),
+            ParamSpec::Choice(values) => {
+                let idx = ((u * (values.len() - 1) as f64).round() as usize).min(values.len() - 1);
+                values[idx]
+            }
+            ParamSpec::IntRange { lo, hi } => (*lo as f64 + u * (*hi - *lo) as f64)
+                .round()
+                .clamp(*lo as f64, *hi as f64),
+        }
+    }
+}
+
+/// Named collection of search dimensions.
+#[derive(Debug, Clone, Default)]
+pub struct SearchSpace {
+    dims: Vec<(String, ParamSpec)>,
+}
+
+impl SearchSpace {
+    /// Empty space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The paper's Table I space.
+    pub fn table1() -> Self {
+        let mut s = Self::new();
+        s.add("lr", ParamSpec::LogUniform { lo: 1e-6, hi: 1e-2 });
+        s.add(
+            "hidden_dim",
+            ParamSpec::Choice(vec![16.0, 32.0, 64.0, 128.0]),
+        );
+        s.add("sort_k", ParamSpec::IntRange { lo: 5, hi: 150 });
+        s
+    }
+
+    /// Append a dimension.
+    pub fn add(&mut self, name: impl Into<String>, spec: ParamSpec) -> &mut Self {
+        self.dims.push((name.into(), spec));
+        self
+    }
+
+    /// Dimensionality.
+    pub fn len(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    /// Dimension name.
+    pub fn name(&self, i: usize) -> &str {
+        &self.dims[i].0
+    }
+
+    /// Dimension spec.
+    pub fn spec(&self, i: usize) -> &ParamSpec {
+        &self.dims[i].1
+    }
+
+    /// Sample a full raw configuration.
+    pub fn sample(&self, rng: &mut StdRng) -> Vec<f64> {
+        self.dims.iter().map(|(_, s)| s.sample(rng)).collect()
+    }
+
+    /// Raw configuration → unit cube.
+    pub fn to_unit(&self, point: &[f64]) -> Vec<f64> {
+        assert_eq!(point.len(), self.dims.len());
+        point
+            .iter()
+            .zip(self.dims.iter())
+            .map(|(&v, (_, s))| s.to_unit(v))
+            .collect()
+    }
+
+    /// Unit cube → valid raw configuration.
+    pub fn from_unit(&self, unit: &[f64]) -> Vec<f64> {
+        assert_eq!(unit.len(), self.dims.len());
+        unit.iter()
+            .zip(self.dims.iter())
+            .map(|(&u, (_, s))| s.from_unit(u))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn log_uniform_stays_in_bounds_and_spreads() {
+        let spec = ParamSpec::LogUniform { lo: 1e-6, hi: 1e-2 };
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut below_1e4 = 0;
+        for _ in 0..200 {
+            let v = spec.sample(&mut rng);
+            assert!((1e-6..=1e-2).contains(&v));
+            if v < 1e-4 {
+                below_1e4 += 1;
+            }
+        }
+        // Log-uniform: half the samples fall below the geometric midpoint.
+        assert!((60..=140).contains(&below_1e4), "got {below_1e4}");
+    }
+
+    #[test]
+    fn choice_samples_only_listed_values() {
+        let spec = ParamSpec::Choice(vec![16.0, 32.0, 64.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let v = spec.sample(&mut rng);
+            assert!([16.0, 32.0, 64.0].contains(&v));
+        }
+    }
+
+    #[test]
+    fn int_range_inclusive() {
+        let spec = ParamSpec::IntRange { lo: 5, hi: 7 };
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let v = spec.sample(&mut rng);
+            assert_eq!(v, v.round());
+            assert!((5.0..=7.0).contains(&v));
+            seen.insert(v as i64);
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn unit_roundtrip() {
+        let space = SearchSpace::table1();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let p = space.sample(&mut rng);
+            let u = space.to_unit(&p);
+            for &x in &u {
+                assert!((0.0..=1.0).contains(&x), "unit coord {x}");
+            }
+            let back = space.from_unit(&u);
+            // Roundtrip is exact for choices/ints, close for log-uniform.
+            assert!((back[0].ln() - p[0].ln()).abs() < 1e-9);
+            assert_eq!(back[1], p[1]);
+            assert_eq!(back[2], p[2]);
+        }
+    }
+
+    #[test]
+    fn from_unit_snaps_to_valid_values() {
+        let space = SearchSpace::table1();
+        let p = space.from_unit(&[0.5, 0.4, 0.5]);
+        assert!([16.0, 32.0, 64.0, 128.0].contains(&p[1]));
+        assert_eq!(p[2], p[2].round());
+        assert!((5.0..=150.0).contains(&p[2]));
+    }
+
+    #[test]
+    fn table1_space_shape() {
+        let s = SearchSpace::table1();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.name(0), "lr");
+        assert_eq!(s.name(1), "hidden_dim");
+        assert_eq!(s.name(2), "sort_k");
+    }
+}

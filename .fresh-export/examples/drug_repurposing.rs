@@ -1,0 +1,72 @@
+//! Drug-repurposing scenario (the paper's motivating PrimeKG use case):
+//! train AM-DGCNN on known drug–disease relationships, then classify
+//! unlabeled drug–disease candidates as *indication*, *off-label use*, or
+//! *contra-indication* with class probabilities.
+//!
+//! ```text
+//! cargo run --release --example drug_repurposing
+//! ```
+
+use am_dgcnn::{predict_probs, prepare_batch, Experiment, FeatureConfig, Hyperparams};
+use amdgcnn_data::{primekg_like, LabeledLink, PrimeKgConfig};
+
+const CLASS_NAMES: [&str; 3] = ["indication", "off-label use", "contra-indication"];
+
+fn main() {
+    let dataset = primekg_like(&PrimeKgConfig::default());
+    println!(
+        "PrimeKG-like graph: {} nodes / {} edges across {} node types and {} relations",
+        dataset.graph.num_nodes(),
+        dataset.graph.num_edges(),
+        dataset.graph.num_node_types(),
+        dataset.graph.num_edge_types()
+    );
+
+    // Train the full AM-DGCNN pipeline on the labeled drug–disease links.
+    let hyper = Hyperparams {
+        lr: 4e-3,
+        hidden_dim: 32,
+        sort_k: 40,
+    };
+    let experiment = Experiment::builder()
+        .gnn(am_dgcnn::GnnKind::am_dgcnn())
+        .hyper(hyper)
+        .seed(2024)
+        .build();
+    let mut session = experiment.session(&dataset, None).expect("session");
+    println!(
+        "training AM-DGCNN on {} known drug–disease links...",
+        session.train_samples.len()
+    );
+    session
+        .trainer
+        .train(&session.model, &mut session.ps, &session.train_samples, 10)
+        .expect("train");
+    let metrics = session.evaluate();
+    println!(
+        "held-out validation: AUC {:.3}, AP {:.3}, accuracy {:.3}\n",
+        metrics.auc, metrics.ap, metrics.accuracy
+    );
+
+    // "Screen" a panel of unverified candidates: here, test links with the
+    // label withheld — in a real deployment these would be gaps in the KG.
+    let candidates: Vec<LabeledLink> = dataset.test.iter().take(8).cloned().collect();
+    let fcfg = FeatureConfig::for_graph(dataset.graph.num_node_types());
+    let prepared = prepare_batch(&dataset, &candidates, &fcfg);
+    let probs = predict_probs(&session.model, &session.ps, &prepared);
+
+    println!("candidate screening (drug, disease) → predicted relationship:");
+    for (i, link) in candidates.iter().enumerate() {
+        let pred = probs.argmax_row(i);
+        let conf = probs.get(i, pred);
+        let truth = CLASS_NAMES[link.class];
+        let mark = if pred == link.class { "✓" } else { "✗" };
+        println!(
+            "  drug#{:<5} disease#{:<5} → {:<17} ({:>5.1}% confident) [truth: {truth}] {mark}",
+            link.u,
+            link.v,
+            CLASS_NAMES[pred],
+            conf * 100.0
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Classical heuristics vs supervised heuristic learning (paper §I and
+//! §VI-A): score a citation-network link-prediction task with common
+//! neighbors, Jaccard, Adamic–Adar, resource allocation, preferential
+//! attachment, and Katz, then train both SEAL models on the same split.
+//!
+//! ```text
+//! cargo run --release --example heuristics_vs_gnn
+//! ```
+
+use am_dgcnn::metrics::roc_auc;
+use am_dgcnn::{Experiment, GnnKind, Hyperparams};
+use amdgcnn_data::{cora_like, CoraConfig};
+use amdgcnn_graph::heuristics::Heuristic;
+use amdgcnn_graph::katz::{katz_score, KatzConfig};
+
+fn main() {
+    let dataset = cora_like(&CoraConfig {
+        num_nodes: 1200,
+        num_edges: 2400,
+        ..Default::default()
+    });
+    println!(
+        "cora-like citation graph: {} papers, {} citations; {} test pairs\n",
+        dataset.graph.num_nodes(),
+        dataset.graph.num_edges(),
+        dataset.test.len()
+    );
+
+    let labels: Vec<bool> = dataset.test.iter().map(|l| l.class == 1).collect();
+    println!("{:<26} {:>8}", "method", "AUC");
+    for h in Heuristic::ALL {
+        let scores: Vec<f32> = dataset
+            .test
+            .iter()
+            .map(|l| h.score(&dataset.graph, l.u, l.v) as f32)
+            .collect();
+        println!("{:<26} {:>8.3}", h.name(), roc_auc(&scores, &labels));
+    }
+    let katz = KatzConfig::default();
+    let scores: Vec<f32> = dataset
+        .test
+        .iter()
+        .map(|l| katz_score(&dataset.graph, l.u, l.v, &katz) as f32)
+        .collect();
+    println!("{:<26} {:>8.3}", "katz", roc_auc(&scores, &labels));
+
+    // Supervised heuristic learning: the SEAL models learn their own
+    // heuristic from enclosing subgraphs.
+    let hyper = Hyperparams {
+        lr: 3.2e-3,
+        hidden_dim: 32,
+        sort_k: 30,
+    };
+    for gnn in [
+        GnnKind::Gat {
+            edge_attrs: false,
+            heads: 1,
+        },
+        GnnKind::Gcn,
+    ] {
+        let experiment = Experiment::builder().gnn(gnn).hyper(hyper).seed(11).build();
+        let metrics = experiment.run(&dataset, 8).expect("run");
+        println!("{:<26} {:>8.3}", gnn.name(), metrics.auc);
+    }
+    println!(
+        "\nThe learned models beat every low-order heuristic without being told\nwhich heuristic family fits this graph; path heuristics (Katz) can win\non strongly clustered synthetics but fail on other families (SS VI-A)."
+    );
+}

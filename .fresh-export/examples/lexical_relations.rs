@@ -1,0 +1,81 @@
+//! Knowledge-base completion on a WordNet-18-like lexical graph: predict
+//! the *relation type* of unlabeled word-sense pairs from nothing but the
+//! edge classes around them (no node features exist), and show the top-3
+//! relation candidates per pair.
+//!
+//! This is the dataset where the paper's contrast is starkest: vanilla
+//! DGCNN is a coin flip, AM-DGCNN recovers the relations from edge
+//! attributes alone.
+//!
+//! ```text
+//! cargo run --release --example lexical_relations
+//! ```
+
+use am_dgcnn::{predict_probs, prepare_batch, Experiment, FeatureConfig, GnnKind, Hyperparams};
+use amdgcnn_data::{wn18_like, Wn18Config};
+
+fn main() {
+    let dataset = wn18_like(&Wn18Config::default());
+    println!(
+        "WordNet-18-like graph: {} word senses, {} lexical links, {} relation classes",
+        dataset.graph.num_nodes(),
+        dataset.graph.num_edges(),
+        dataset.num_classes
+    );
+
+    let hyper = Hyperparams {
+        lr: 5e-3,
+        hidden_dim: 64,
+        sort_k: 30,
+    };
+    let experiment = Experiment::builder()
+        .gnn(GnnKind::am_dgcnn())
+        .hyper(hyper)
+        .seed(7)
+        .build();
+    let mut session = experiment.session(&dataset, None).expect("session");
+    println!(
+        "training AM-DGCNN on {} labeled links...",
+        session.train_samples.len()
+    );
+    session
+        .trainer
+        .train(&session.model, &mut session.ps, &session.train_samples, 10)
+        .expect("train");
+    let metrics = session.evaluate();
+    println!(
+        "test AUC {:.3}, AP {:.3}, accuracy {:.3}\n",
+        metrics.auc, metrics.ap, metrics.accuracy
+    );
+
+    // Rank relation candidates for a few unlabeled pairs.
+    let fcfg = FeatureConfig::for_graph(dataset.graph.num_node_types());
+    let pairs: Vec<_> = dataset.test.iter().take(6).cloned().collect();
+    let prepared = prepare_batch(&dataset, &pairs, &fcfg);
+    let probs = predict_probs(&session.model, &session.ps, &prepared);
+
+    println!("relation-type completion (top-3 candidates per pair):");
+    for (i, link) in pairs.iter().enumerate() {
+        let mut ranked: Vec<(usize, f32)> = (0..dataset.num_classes)
+            .map(|c| (c, probs.get(i, c)))
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite probabilities"));
+        let top: Vec<String> = ranked
+            .iter()
+            .take(3)
+            .map(|(c, p)| format!("rel{:02} {:.0}%", c, p * 100.0))
+            .collect();
+        let hit = if ranked[0].0 == link.class {
+            "✓"
+        } else {
+            " "
+        };
+        println!(
+            "  sense#{:<5} ↔ sense#{:<5} true=rel{:02}  {hit}  [{}]",
+            link.u,
+            link.v,
+            link.class,
+            top.join(", ")
+        );
+    }
+}

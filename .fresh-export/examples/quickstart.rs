@@ -1,0 +1,54 @@
+//! Quickstart: train AM-DGCNN on a small synthetic knowledge graph and
+//! classify held-out links.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks the whole public API surface: generate a dataset, pick the model
+//! variant, train for a few epochs, and read the paper's metrics.
+
+use am_dgcnn::{Experiment, GnnKind, Hyperparams};
+use amdgcnn_data::{wn18_like, Wn18Config};
+
+fn main() {
+    // 1. A WordNet-18-like knowledge graph: homogeneous nodes, 18 edge
+    //    classes, the link class encoded purely in surrounding edge types.
+    let dataset = wn18_like(&Wn18Config {
+        num_nodes: 1200,
+        num_edges: 4800,
+        train_links: 700,
+        test_links: 150,
+        ..Default::default()
+    });
+    println!(
+        "dataset: {} — {} nodes, {} edges, {} link classes, {} train / {} test links",
+        dataset.name,
+        dataset.graph.num_nodes(),
+        dataset.graph.num_edges(),
+        dataset.num_classes,
+        dataset.train.len(),
+        dataset.test.len()
+    );
+
+    // 2. Hyperparameters from the paper's Table I space.
+    let hyper = Hyperparams {
+        lr: 5e-3,
+        hidden_dim: 32,
+        sort_k: 30,
+    };
+
+    // 3. Train both models and compare — the paper's core experiment.
+    for gnn in [GnnKind::am_dgcnn(), GnnKind::Gcn] {
+        let experiment = Experiment::builder().gnn(gnn).hyper(hyper).seed(42).build();
+        let metrics = experiment.run(&dataset, 10).expect("run");
+        println!(
+            "{:<14} AUC {:.3}  AP {:.3}  accuracy {:.3}",
+            gnn.name(),
+            metrics.auc,
+            metrics.ap,
+            metrics.accuracy
+        );
+    }
+    println!("\nAM-DGCNN reads the edge attributes the vanilla model cannot see.");
+}

@@ -1,0 +1,12 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper. Outputs land in results/.
+set -u
+cd "$(dirname "$0")"
+BINS="table2_datasets table3_accuracy fig3_cora_epochs fig4_primekg_epochs fig5_biokg_epochs fig6_wn18_epochs fig7_primekg_samples fig8_biokg_samples fig9_wn18_samples ablation_edge_attrs ablation_subgraph_mode baseline_heuristics"
+for bin in $BINS; do
+  echo "=== $bin ($(date +%H:%M:%S)) ==="
+  ./target/release/$bin > results/$bin.txt 2> results/$bin.log || echo "FAILED: $bin"
+done
+echo "=== table1_autotune (wn18, budget 8) ($(date +%H:%M:%S)) ==="
+./target/release/table1_autotune wn18 8 > results/table1_autotune.txt 2> results/table1_autotune.log || echo "FAILED: table1_autotune"
+echo "ALL_DONE ($(date +%H:%M:%S))"

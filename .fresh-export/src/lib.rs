@@ -1,0 +1,3 @@
+pub fn workspace_ok() -> bool {
+    true
+}

@@ -1,0 +1,79 @@
+//! Observability must be a pure observer: attaching an enabled registry to
+//! a training run may not change a single bit of the result. Clock reads
+//! happen only inside the obs layer and never feed back into the
+//! computation, so losses and predictions are identical with
+//! instrumentation on or off — at any rayon worker count.
+
+use am_dgcnn::{predict_probs, Experiment, GnnKind, Hyperparams};
+use amdgcnn_data::{wn18_like, Wn18Config};
+use amdgcnn_obs::Obs;
+
+/// Train 3 epochs on the tiny WN18-like graph under `threads` rayon
+/// workers, recording into `obs`, and return the per-epoch loss history
+/// and the flat test-split probabilities.
+fn train_losses_and_probs(threads: usize, obs: Obs) -> (Vec<f32>, Vec<f32>) {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool");
+    pool.install(|| {
+        let ds = wn18_like(&Wn18Config::tiny());
+        let exp = Experiment::builder()
+            .gnn(GnnKind::am_dgcnn())
+            .hyper(Hyperparams {
+                lr: 5e-3,
+                hidden_dim: 8,
+                sort_k: 10,
+            })
+            .seed(17)
+            .observe(obs)
+            .build();
+        let mut session = exp.session(&ds, None).expect("session");
+        session
+            .trainer
+            .train(&session.model, &mut session.ps, &session.train_samples, 3)
+            .expect("train");
+        let losses = session.trainer.history.iter().map(|e| e.loss).collect();
+        let probs = predict_probs(&session.model, &session.ps, &session.test_samples);
+        (losses, probs.data().to_vec())
+    })
+}
+
+#[test]
+fn instrumented_training_is_bit_identical_to_uninstrumented() {
+    let obs1 = Obs::enabled();
+    let obs4 = Obs::enabled();
+    let (l_off1, p_off1) = train_losses_and_probs(1, Obs::disabled());
+    let (l_on1, p_on1) = train_losses_and_probs(1, obs1.clone());
+    let (l_off4, p_off4) = train_losses_and_probs(4, Obs::disabled());
+    let (l_on4, p_on4) = train_losses_and_probs(4, obs4.clone());
+
+    // Enabled vs disabled at each thread count: bit-identical.
+    assert_eq!(l_off1, l_on1, "1 thread: obs must not change losses");
+    assert_eq!(p_off1, p_on1, "1 thread: obs must not change predictions");
+    assert_eq!(l_off4, l_on4, "4 threads: obs must not change losses");
+    assert_eq!(p_off4, p_on4, "4 threads: obs must not change predictions");
+
+    // And across thread counts, instrumented runs still agree with each
+    // other (the parallel-determinism property survives instrumentation).
+    assert_eq!(l_on1, l_on4, "losses must not depend on worker count");
+    assert_eq!(p_on1, p_on4, "predictions must not depend on worker count");
+
+    // The instrumented runs really did record: this test must not pass
+    // vacuously with a no-op registry.
+    for obs in [&obs1, &obs4] {
+        let report = obs.report();
+        for span in [
+            "pipeline/sample",
+            "train/epoch",
+            "train/forward",
+            "train/backward",
+            "train/optimizer_step",
+        ] {
+            assert!(
+                report.span(span).map(|s| s.count).unwrap_or(0) > 0,
+                "span {span} recorded nothing — instrumentation was inert"
+            );
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! The trainer's headline concurrency claim: gradients are computed in
+//! parallel but reduced in sample order, so results are bit-for-bit
+//! identical regardless of how many rayon workers run — the "data-race
+//! freedom plus determinism" property the HPC design leans on.
+
+use am_dgcnn::{predict_probs, Experiment, GnnKind, Hyperparams, TrainConfig};
+use amdgcnn_data::{wn18_like, Wn18Config};
+
+fn train_losses_and_probs(threads: usize) -> (Vec<f32>, Vec<f32>) {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool");
+    pool.install(|| {
+        let ds = wn18_like(&Wn18Config::tiny());
+        let mut exp = Experiment::new(
+            GnnKind::am_dgcnn(),
+            Hyperparams {
+                lr: 5e-3,
+                hidden_dim: 8,
+                sort_k: 10,
+            },
+            17,
+        );
+        exp.train = TrainConfig {
+            lr: 5e-3,
+            seed: 17,
+            ..Default::default()
+        };
+        let mut session = exp.session(&ds, None).expect("session");
+        session
+            .trainer
+            .train(&session.model, &mut session.ps, &session.train_samples, 3)
+            .expect("train");
+        let losses = session.trainer.history.iter().map(|e| e.loss).collect();
+        let probs = predict_probs(&session.model, &session.ps, &session.test_samples);
+        (losses, probs.data().to_vec())
+    })
+}
+
+#[test]
+fn training_is_identical_across_thread_counts() {
+    let (l1, p1) = train_losses_and_probs(1);
+    let (l4, p4) = train_losses_and_probs(4);
+    assert_eq!(l1, l4, "loss history must not depend on worker count");
+    assert_eq!(p1, p4, "predictions must not depend on worker count");
+}
+
+#[test]
+fn sample_preparation_is_identical_across_thread_counts() {
+    use am_dgcnn::{prepare_batch, FeatureConfig};
+    let ds = wn18_like(&Wn18Config::tiny());
+    let fcfg = FeatureConfig::for_graph(ds.graph.num_node_types());
+    let serial = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("pool")
+        .install(|| prepare_batch(&ds, &ds.train, &fcfg));
+    let parallel = prepare_batch(&ds, &ds.train, &fcfg);
+    assert_eq!(serial.len(), parallel.len());
+    for (a, b) in serial.iter().zip(parallel.iter()) {
+        assert_eq!(a.features, b.features);
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.num_edges, b.num_edges);
+    }
+}

@@ -1,0 +1,298 @@
+//! Fleet-serving benchmark: a consistent-hash fleet of replicas vs. one
+//! [`BatchServer`], under concurrent simulated clients.
+//!
+//! ```text
+//! cargo run --release -p amdgcnn-bench --bin fleet_bench
+//! ```
+//!
+//! The workload is the deployment shape the fleet tier exists for: the
+//! distinct-key working set is larger than one replica's subgraph cache.
+//! A single server thrashes its LRU on every pass; consistent hashing
+//! gives each fleet replica a stable key shard that *does* fit its cache,
+//! so the fleet's aggregate cache absorbs the working set with zero
+//! coordination. Both paths serve the same per-replica resources
+//! (identical cache capacity and batch policy) — the fleet simply has N
+//! replicas of them.
+//!
+//! Reports sustained qps and latency quantiles for both paths, asserts
+//! the fleet's answers are bit-identical to a clean single engine's,
+//! gates on >=2x sustained qps at no worse p99, and writes the snapshot
+//! to `BENCH_pr7.json` (or `AMDGCNN_FLEET_BENCH_OUT`). The fleet's obs
+//! timing report (fleet/* spans and counters) goes to
+//! `AMDGCNN_TIMING_OUT` when set.
+
+use am_dgcnn::{Experiment, FeatureConfig, GnnKind, Hyperparams};
+use amdgcnn_bench::obs_report::{timing_out_from_env, write_timing_report};
+use amdgcnn_data::{wn18_like, Wn18Config};
+use amdgcnn_obs::Obs;
+use amdgcnn_serve::{
+    save_model, ArtifactMeta, BatchConfig, BatchServer, Fleet, FleetConfig, InferenceEngine,
+    LinkQuery,
+};
+use std::io::Write;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Fleet replicas (and the cache-capacity multiple the fleet enjoys).
+const REPLICAS: usize = 4;
+/// Distinct link pairs in the workload — chosen to overflow one replica's
+/// cache but fit comfortably in `REPLICAS` shards.
+const DISTINCT_PAIRS: usize = 360;
+/// Per-replica (and single-server) subgraph cache capacity.
+const CACHE_CAPACITY: usize = 180;
+/// Concurrent simulated clients per path.
+const CLIENTS: usize = 8;
+/// Timed passes over the distinct pairs (after one untimed warmup pass).
+const PASSES: usize = 4;
+
+struct PathResult {
+    elapsed: Duration,
+    qps: f64,
+    p50: Duration,
+    p99: Duration,
+}
+
+fn quantile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Drive `CLIENTS` threads over interleaved slices of `workload` for
+/// `PASSES` passes, timing each query. `query` is the per-path call.
+fn drive<F>(workload: &[LinkQuery], query: F) -> PathResult
+where
+    F: Fn(LinkQuery) -> Vec<f32> + Send + Sync,
+{
+    let query = &query;
+    let started = Instant::now();
+    let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut lats = Vec::new();
+                    for _ in 0..PASSES {
+                        for q in workload.iter().skip(c).step_by(CLIENTS) {
+                            let t = Instant::now();
+                            let probs = query(*q);
+                            lats.push(t.elapsed());
+                            assert!(!probs.is_empty());
+                        }
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+    let total = latencies.len();
+    latencies.sort_unstable();
+    PathResult {
+        elapsed,
+        qps: total as f64 / elapsed.as_secs_f64(),
+        p50: quantile(&latencies, 0.50),
+        p99: quantile(&latencies, 0.99),
+    }
+}
+
+fn main() {
+    am_dgcnn::runtime::tune_allocator_for_batching();
+    let ds = wn18_like(&Wn18Config::default());
+    println!(
+        "dataset: {} — {} nodes, {} edges, {} link classes",
+        ds.name,
+        ds.graph.num_nodes(),
+        ds.graph.num_edges(),
+        ds.num_classes
+    );
+
+    let hyper = Hyperparams {
+        lr: 5e-3,
+        hidden_dim: 16,
+        sort_k: 20,
+    };
+    let exp = Experiment::builder()
+        .gnn(GnnKind::am_dgcnn())
+        .hyper(hyper)
+        .seed(17)
+        .build();
+    let mut session = exp.session(&ds, Some(200)).expect("session");
+    session
+        .trainer
+        .train(&session.model, &mut session.ps, &session.train_samples, 2)
+        .expect("train");
+    let fcfg = FeatureConfig::for_graph(ds.graph.num_node_types());
+    let meta = ArtifactMeta::describe(&ds, &session.model.cfg, &fcfg, 2).expect("meta");
+    let mut artifact = Vec::new();
+    save_model(&meta, &session.ps, &mut artifact).expect("save");
+    println!("artifact: {} bytes", artifact.len());
+
+    let workload: Vec<LinkQuery> = ds
+        .test
+        .iter()
+        .take(DISTINCT_PAIRS)
+        .map(|l| (l.u, l.v))
+        .collect();
+    assert_eq!(workload.len(), DISTINCT_PAIRS, "dataset too small");
+    println!(
+        "workload: {DISTINCT_PAIRS} distinct pairs x {PASSES} passes x {CLIENTS} clients, \
+         per-server cache {CACHE_CAPACITY}\n"
+    );
+
+    // Ground truth: a clean uncached engine, one query at a time.
+    let reference = InferenceEngine::load(artifact.as_slice(), ds.clone(), 0).expect("engine");
+    let expected: Vec<Vec<f32>> = workload.iter().map(|&q| reference.predict_one(q)).collect();
+
+    let batch = BatchConfig {
+        max_batch: 32,
+        max_wait: Duration::from_micros(200),
+    };
+
+    // Path A: one micro-batched server whose cache the working set
+    // overflows.
+    let engine =
+        InferenceEngine::load(artifact.as_slice(), ds.clone(), CACHE_CAPACITY).expect("engine");
+    let server = Arc::new(BatchServer::start(engine, batch));
+    {
+        let server = Arc::clone(&server);
+        drive(&workload, move |q| {
+            server
+                .submit(q)
+                .expect("admitted")
+                .wait()
+                .expect("answered")
+        }); // warmup (the thrashing cache makes this nearly moot, which is the point)
+    }
+    let single = {
+        let server = Arc::clone(&server);
+        drive(&workload, move |q| {
+            server
+                .submit(q)
+                .expect("admitted")
+                .wait()
+                .expect("answered")
+        })
+    };
+    println!(
+        "single server : {} queries in {:.2?}  ({:.0} qps, p50 {:.2?}, p99 {:.2?})",
+        DISTINCT_PAIRS * PASSES,
+        single.elapsed,
+        single.qps,
+        single.p50,
+        single.p99
+    );
+    let single_stats = server.stats();
+    println!("                {single_stats}");
+    server.begin_shutdown();
+    drop(server);
+
+    // Path B: the fleet — same batch policy and per-replica cache, with
+    // consistent hashing sharding the working set across replicas.
+    let obs = Obs::enabled();
+    let fleet = Arc::new(
+        Fleet::start_with(
+            artifact.clone(),
+            ds.clone(),
+            FleetConfig {
+                replicas: REPLICAS,
+                cache_capacity: CACHE_CAPACITY,
+                batch,
+                hedge_after: Duration::from_millis(50),
+                ..FleetConfig::default()
+            },
+            obs.clone(),
+            Vec::new(),
+        )
+        .expect("fleet"),
+    );
+    // Bit-identity check doubles as cache warmup.
+    for (i, &q) in workload.iter().enumerate() {
+        let probs = fleet.query(q).expect("fleet answers");
+        assert_eq!(
+            probs, expected[i],
+            "fleet answer for {q:?} diverged from the single-engine reference"
+        );
+    }
+    let fleet_res = {
+        let fleet = Arc::clone(&fleet);
+        drive(&workload, move |q| fleet.query(q).expect("fleet answers"))
+    };
+    println!(
+        "fleet ({REPLICAS} rep) : {} queries in {:.2?}  ({:.0} qps, p50 {:.2?}, p99 {:.2?})",
+        DISTINCT_PAIRS * PASSES,
+        fleet_res.elapsed,
+        fleet_res.qps,
+        fleet_res.p50,
+        fleet_res.p99
+    );
+    let fleet_stats = fleet.stats();
+    println!("                {fleet_stats}");
+
+    let speedup = fleet_res.qps / single.qps;
+    let p99_ratio = fleet_res.p99.as_secs_f64() / single.p99.as_secs_f64().max(1e-12);
+    println!("\nspeedup       : {speedup:.2}x sustained qps");
+    println!("p99 ratio     : {p99_ratio:.2} (fleet/single, <=1 is better)");
+    let pass = speedup >= 2.0 && p99_ratio <= 1.10;
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"fleet_bench\",\n",
+            "  \"replicas\": {},\n",
+            "  \"distinct_pairs\": {},\n",
+            "  \"cache_capacity\": {},\n",
+            "  \"clients\": {},\n",
+            "  \"passes\": {},\n",
+            "  \"single\": {{ \"qps\": {:.1}, \"elapsed_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {} }},\n",
+            "  \"fleet\": {{ \"qps\": {:.1}, \"elapsed_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, ",
+            "\"failovers\": {}, \"hedges\": {}, \"hedge_wins\": {} }},\n",
+            "  \"speedup\": {:.3},\n",
+            "  \"p99_ratio\": {:.3},\n",
+            "  \"bit_identical\": true,\n",
+            "  \"pass\": {}\n",
+            "}}\n"
+        ),
+        REPLICAS,
+        DISTINCT_PAIRS,
+        CACHE_CAPACITY,
+        CLIENTS,
+        PASSES,
+        single.qps,
+        single.elapsed.as_nanos(),
+        single.p50.as_nanos(),
+        single.p99.as_nanos(),
+        fleet_res.qps,
+        fleet_res.elapsed.as_nanos(),
+        fleet_res.p50.as_nanos(),
+        fleet_res.p99.as_nanos(),
+        fleet_stats.failovers,
+        fleet_stats.hedges,
+        fleet_stats.hedge_wins,
+        speedup,
+        p99_ratio,
+        pass
+    );
+    let out = std::env::var("AMDGCNN_FLEET_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr7.json".into());
+    let mut f = std::fs::File::create(&out).expect("create bench output");
+    f.write_all(json.as_bytes()).expect("write bench output");
+    println!("wrote {out}");
+
+    if let Some(path) = timing_out_from_env() {
+        let report = obs.report();
+        write_timing_report(&path, &report).expect("write fleet timing report");
+        println!("wrote fleet timing report to {}", path.display());
+    }
+
+    fleet.shutdown();
+    assert!(
+        pass,
+        "fleet must sustain >=2x single-server qps at no worse p99 \
+         (got {speedup:.2}x, p99 ratio {p99_ratio:.2})"
+    );
+}

@@ -1,0 +1,133 @@
+//! Fleet health: per-replica states composed into one fleet-level signal.
+//!
+//! Each replica already protects itself (circuit breaker, bounded queue,
+//! worker supervisor); this module only *reads* those signals and folds
+//! them upward. The state machine per replica:
+//!
+//! ```text
+//!        respawn                drain            breaker opens
+//! Down ◄───────── Up ─────────► Draining         Up ─► Impaired
+//!   ▲  crash       │                │  shutdown        │ breaker closes
+//!   └──────────────┘                └─► Down           ▼
+//!                                                      Up
+//! ```
+//!
+//! and the fleet folds replica states with:
+//!
+//! - **Healthy** — every replica is `Up`.
+//! - **Degraded** — at least one replica is `Up`, but not all (some are
+//!   `Down`, `Draining`, or `Impaired` behind an open breaker). The fleet
+//!   still answers every routable query by spilling to ring successors.
+//! - **Critical** — no replica is `Up`. Queries fail fast with a typed
+//!   error until a respawn or a breaker reset lifts the fleet back.
+//!
+//! Transitions are recorded as `fleet/health` observability events with a
+//! counter, so a timing report shows when and how often the fleet moved
+//! between states.
+
+use serde::Serialize;
+
+/// Health of one replica slot, derived — never stored — from the slot's
+/// liveness and its server's breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ReplicaHealth {
+    /// Live and admitting: routed queries go here first.
+    Up,
+    /// Live but its circuit breaker is open; the router skips it until the
+    /// breaker's cooldown probe closes it again.
+    Impaired,
+    /// Gracefully shutting down: queued work was redistributed, in-flight
+    /// work is finishing, no new queries are routed here.
+    Draining,
+    /// Crashed or fully shut down; a respawn rebuilds it.
+    Down,
+}
+
+impl ReplicaHealth {
+    /// Whether the router may send new queries to this replica.
+    pub fn routable(&self) -> bool {
+        matches!(self, ReplicaHealth::Up)
+    }
+}
+
+/// Fleet-level health: the fold of every replica's [`ReplicaHealth`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum FleetHealth {
+    /// All replicas up.
+    Healthy,
+    /// Some replicas unavailable, at least one up: serving continues with
+    /// failover.
+    Degraded,
+    /// No replica up: queries fail fast with a typed error.
+    Critical,
+}
+
+impl FleetHealth {
+    /// Fold per-replica states into the fleet state.
+    pub fn from_replicas(replicas: &[ReplicaHealth]) -> FleetHealth {
+        let up = replicas.iter().filter(|r| r.routable()).count();
+        if up == 0 {
+            FleetHealth::Critical
+        } else if up == replicas.len() {
+            FleetHealth::Healthy
+        } else {
+            FleetHealth::Degraded
+        }
+    }
+}
+
+impl std::fmt::Display for FleetHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetHealth::Healthy => write!(f, "healthy"),
+            FleetHealth::Degraded => write!(f, "degraded"),
+            FleetHealth::Critical => write!(f, "critical"),
+        }
+    }
+}
+
+impl std::fmt::Display for ReplicaHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplicaHealth::Up => write!(f, "up"),
+            ReplicaHealth::Impaired => write!(f, "impaired"),
+            ReplicaHealth::Draining => write!(f, "draining"),
+            ReplicaHealth::Down => write!(f, "down"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ReplicaHealth::*;
+
+    #[test]
+    fn fold_matches_the_three_state_definition() {
+        assert_eq!(
+            FleetHealth::from_replicas(&[Up, Up, Up]),
+            FleetHealth::Healthy
+        );
+        assert_eq!(
+            FleetHealth::from_replicas(&[Up, Down, Up]),
+            FleetHealth::Degraded
+        );
+        assert_eq!(
+            FleetHealth::from_replicas(&[Up, Impaired, Draining]),
+            FleetHealth::Degraded
+        );
+        assert_eq!(
+            FleetHealth::from_replicas(&[Down, Impaired, Draining]),
+            FleetHealth::Critical
+        );
+        assert_eq!(FleetHealth::from_replicas(&[]), FleetHealth::Critical);
+    }
+
+    #[test]
+    fn only_up_is_routable() {
+        assert!(Up.routable());
+        for s in [Impaired, Draining, Down] {
+            assert!(!s.routable(), "{s} must not receive new queries");
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests of the consistent-hash ring: load balance within
+//! bounds, minimal remap on membership change, and failover-order sanity.
+
+use amdgcnn_serve::HashRing;
+use proptest::prelude::*;
+
+fn keys() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((0u32..50_000, 0u32..50_000), 400..1200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// With 128 virtual nodes per replica, no replica owns a wildly
+    /// outsized or starved share of a large random key set.
+    #[test]
+    fn load_stays_balanced(ks in keys(), replicas in 2usize..8) {
+        let ring = HashRing::new(replicas);
+        let mut counts = vec![0usize; replicas];
+        for &(u, v) in &ks {
+            counts[ring.route(u, v)] += 1;
+        }
+        let mean = ks.len() as f64 / replicas as f64;
+        for (r, &c) in counts.iter().enumerate() {
+            prop_assert!(
+                (c as f64) < mean * 2.5,
+                "replica {} owns {} of {} keys (mean {:.1}): ring too lumpy",
+                r, c, ks.len(), mean
+            );
+        }
+    }
+
+    /// Removing one replica only remaps the keys it owned; every other
+    /// key keeps its route. This is the property that makes failover
+    /// cheap: a crash does not reshuffle the whole cache-sharded keyspace.
+    #[test]
+    fn removal_remaps_only_the_lost_replicas_keys(
+        ks in keys(),
+        replicas in 2usize..8,
+        victim_pick in 0usize..8,
+    ) {
+        let victim = victim_pick % replicas;
+        let full = HashRing::new(replicas);
+        let mut shrunk = HashRing::new(replicas);
+        shrunk.remove_replica(victim);
+        for &(u, v) in &ks {
+            let before = full.route(u, v);
+            let after = shrunk.route(u, v);
+            if before != victim {
+                prop_assert_eq!(
+                    before, after,
+                    "key ({}, {}) moved despite its owner surviving", u, v
+                );
+            } else {
+                prop_assert_ne!(after, victim, "key still routed to removed replica");
+            }
+        }
+    }
+
+    /// Re-adding a removed replica restores the original routing exactly
+    /// (vnode points are deterministic functions of the replica index).
+    #[test]
+    fn readding_restores_original_routes(ks in keys(), replicas in 2usize..8) {
+        let full = HashRing::new(replicas);
+        let mut cycled = HashRing::new(replicas);
+        cycled.remove_replica(0);
+        cycled.add_replica(0);
+        for &(u, v) in &ks {
+            prop_assert_eq!(full.route(u, v), cycled.route(u, v));
+        }
+    }
+
+    /// The failover order starts at the primary and visits every replica
+    /// exactly once — so walking it tries the whole fleet, never skips a
+    /// live replica, and never retries a dead one.
+    #[test]
+    fn route_order_is_a_permutation_led_by_the_primary(
+        u in 0u32..50_000,
+        v in 0u32..50_000,
+        replicas in 1usize..8,
+    ) {
+        let ring = HashRing::new(replicas);
+        let order = ring.route_order(u, v);
+        prop_assert_eq!(order.len(), replicas);
+        prop_assert_eq!(order[0], ring.route(u, v));
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..replicas).collect::<Vec<_>>());
+    }
+}
