@@ -1,0 +1,228 @@
+//! Live-mutation benchmark: incremental k-hop cache invalidation vs. a
+//! full cache flush, across a sequence of graph-generation rolls.
+//!
+//! ```text
+//! cargo run --release -p amdgcnn-bench --bin mutation_bench
+//! ```
+//!
+//! The workload is the dynamic-graph deployment shape: a warm serving
+//! cache over a large graph, hit by a stream of small edge mutations.
+//! Each committed batch touches a handful of endpoints whose 2-hop
+//! region covers a few percent of the graph — so almost every cached
+//! enclosing subgraph is provably unaffected. The incremental path
+//! carries those survivors across the generation roll
+//! ([`InferenceEngine::migrate_cache_from`]) and recomputes only the
+//! invalidated entries; the flush path starts every generation cold and
+//! re-extracts everything, which is what a cache without the k-hop
+//! invalidation rule would be forced to do.
+//!
+//! Both paths answer every query on every generation; a per-round
+//! bit-identity assertion proves the survivors were safe to keep. The
+//! WAL is replayed at the end and its digest checked against the live
+//! graph. Reports per-round serve times, the invalidated/migrated
+//! split, gates on the incremental path beating the flush path by >=1.5x
+//! total serve time, and writes the snapshot to `BENCH_pr8.json` (or
+//! `AMDGCNN_MUTATION_BENCH_OUT`). The graph store's timing report
+//! (graph/* spans and counters) goes to `AMDGCNN_TIMING_OUT` when set.
+
+use am_dgcnn::{Experiment, FeatureConfig, GnnKind, Hyperparams};
+use amdgcnn_bench::obs_report::{timing_out_from_env, write_timing_report};
+use amdgcnn_data::{wn18_like, Wn18Config};
+use amdgcnn_graph::{GraphMutation, MutableGraph};
+use amdgcnn_serve::{save_model, ArtifactMeta, GraphStore, InferenceEngine, LinkQuery};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+/// Committed mutation batches (generation rolls) in the run.
+const ROUNDS: usize = 8;
+/// Edge appends per committed batch.
+const OPS_PER_BATCH: u32 = 2;
+/// Distinct link pairs served on every generation.
+const WORKLOAD: usize = 300;
+/// Subgraph-cache capacity — comfortably holds the workload, so the
+/// flush path's cost is pure re-extraction, not LRU thrash.
+const CACHE_CAPACITY: usize = 512;
+
+fn main() {
+    am_dgcnn::runtime::tune_allocator_for_batching();
+    let ds = wn18_like(&Wn18Config::default());
+    println!(
+        "dataset: {} — {} nodes, {} edges, extraction radius {} hops",
+        ds.name,
+        ds.graph.num_nodes(),
+        ds.graph.num_edges(),
+        ds.subgraph.hops
+    );
+
+    let hyper = Hyperparams {
+        lr: 5e-3,
+        hidden_dim: 16,
+        sort_k: 20,
+    };
+    let exp = Experiment::builder()
+        .gnn(GnnKind::am_dgcnn())
+        .hyper(hyper)
+        .seed(17)
+        .build();
+    let mut session = exp.session(&ds, Some(120)).expect("session");
+    session
+        .trainer
+        .train(&session.model, &mut session.ps, &session.train_samples, 1)
+        .expect("train");
+    let fcfg = FeatureConfig::for_graph(ds.graph.num_node_types());
+    let meta = ArtifactMeta::describe(&ds, &session.model.cfg, &fcfg, 1).expect("meta");
+    let mut artifact = Vec::new();
+    save_model(&meta, &session.ps, &mut artifact).expect("save");
+    println!("artifact: {} bytes", artifact.len());
+
+    let workload: Vec<LinkQuery> = ds.test.iter().take(WORKLOAD).map(|l| (l.u, l.v)).collect();
+    assert_eq!(workload.len(), WORKLOAD, "dataset too small");
+    println!(
+        "workload: {WORKLOAD} pairs x {ROUNDS} generation rolls, \
+         {OPS_PER_BATCH} edge appends per roll, cache {CACHE_CAPACITY}\n"
+    );
+
+    let wal_path =
+        std::env::temp_dir().join(format!("amdgcnn-mutbench-{}.wal", std::process::id()));
+    let store = GraphStore::create(ds.clone(), &wal_path).expect("graph store");
+
+    // Warm the incremental path's cache on generation 0. The flush path
+    // by definition starts cold every round, so it gets no warm start.
+    let mut inc = InferenceEngine::load(artifact.as_slice(), ds.clone(), CACHE_CAPACITY)
+        .expect("engine")
+        .with_graph_generation(0);
+    for &q in &workload {
+        inc.predict_one(q);
+    }
+
+    let num_nodes = ds.graph.num_nodes() as u32;
+    let mut rng = StdRng::seed_from_u64(0xbe4c_0008);
+    let mut inc_serve = Duration::ZERO;
+    let mut flush_serve = Duration::ZERO;
+    let mut total_invalidated = 0usize;
+    let mut total_migrated = 0usize;
+
+    for round in 0..ROUNDS {
+        let batch: Vec<GraphMutation> = (0..OPS_PER_BATCH)
+            .map(|_| GraphMutation::AddEdge {
+                u: rng.random_range(0..num_nodes),
+                v: rng.random_range(0..num_nodes),
+                etype: rng.random_range(0u16..4),
+            })
+            .collect();
+        let commit = store.apply(&batch, None).expect("valid batch commits");
+
+        // Incremental: build on the new generation, carry survivors
+        // across, recompute only what the region invalidated.
+        let t = Instant::now();
+        let next = InferenceEngine::load(
+            artifact.as_slice(),
+            (*commit.dataset).clone(),
+            CACHE_CAPACITY,
+        )
+        .expect("engine")
+        .with_graph_generation(commit.generation);
+        let (invalidated, migrated) = next.migrate_cache_from(&inc, &commit.region);
+        let inc_answers: Vec<Vec<f32>> = workload.iter().map(|&q| next.predict_one(q)).collect();
+        let inc_elapsed = t.elapsed();
+        inc = next;
+
+        // Flush: same generation, cold cache — every entry re-extracted.
+        let t = Instant::now();
+        let cold = InferenceEngine::load(
+            artifact.as_slice(),
+            (*commit.dataset).clone(),
+            CACHE_CAPACITY,
+        )
+        .expect("engine")
+        .with_graph_generation(commit.generation);
+        let flush_answers: Vec<Vec<f32>> = workload.iter().map(|&q| cold.predict_one(q)).collect();
+        let flush_elapsed = t.elapsed();
+
+        assert_eq!(
+            inc_answers, flush_answers,
+            "round {round}: migrated survivors must answer bit-identically \
+             to a cold engine on the same generation"
+        );
+        inc_serve += inc_elapsed;
+        flush_serve += flush_elapsed;
+        total_invalidated += invalidated;
+        total_migrated += migrated;
+        println!(
+            "gen {:>2}: region {:>4} nodes | incremental {:>9.2?} ({invalidated:>3} dropped, \
+             {migrated:>3} kept) | flush {:>9.2?}",
+            commit.generation,
+            commit.region.len(),
+            inc_elapsed,
+            flush_elapsed
+        );
+    }
+
+    // Durability sanity: the WAL replays to the live graph's digest.
+    let recovery = amdgcnn_graph::mutable::replay_log(&wal_path).expect("replay log");
+    assert_eq!(recovery.batches.len(), ROUNDS);
+    assert_eq!(recovery.dropped_bytes, 0);
+    let rebuilt = MutableGraph::replay(ds.graph.clone(), &recovery.batches).expect("replay");
+    assert_eq!(rebuilt.digest(), store.digest(), "WAL replay digest");
+    let _ = std::fs::remove_file(&wal_path);
+
+    let speedup = flush_serve.as_secs_f64() / inc_serve.as_secs_f64().max(1e-12);
+    let kept_frac = total_migrated as f64 / (total_migrated + total_invalidated).max(1) as f64;
+    println!(
+        "\nincremental   : {inc_serve:.2?} total serve across {ROUNDS} rolls \
+         ({total_invalidated} entries recomputed, {total_migrated} carried, \
+         {:.1}% kept)",
+        kept_frac * 100.0
+    );
+    println!("full flush    : {flush_serve:.2?} total serve across {ROUNDS} rolls");
+    println!("speedup       : {speedup:.2}x (incremental over flush)");
+    let pass = speedup >= 1.5 && total_migrated > 0;
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"mutation_bench\",\n",
+            "  \"rounds\": {},\n",
+            "  \"ops_per_batch\": {},\n",
+            "  \"workload\": {},\n",
+            "  \"cache_capacity\": {},\n",
+            "  \"incremental\": {{ \"serve_ns\": {}, \"invalidated\": {}, \"migrated\": {} }},\n",
+            "  \"flush\": {{ \"serve_ns\": {} }},\n",
+            "  \"kept_fraction\": {:.4},\n",
+            "  \"speedup\": {:.3},\n",
+            "  \"replay_digest_matches\": true,\n",
+            "  \"bit_identical\": true,\n",
+            "  \"pass\": {}\n",
+            "}}\n"
+        ),
+        ROUNDS,
+        OPS_PER_BATCH,
+        WORKLOAD,
+        CACHE_CAPACITY,
+        inc_serve.as_nanos(),
+        total_invalidated,
+        total_migrated,
+        flush_serve.as_nanos(),
+        kept_frac,
+        speedup,
+        pass
+    );
+    let out =
+        std::env::var("AMDGCNN_MUTATION_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr8.json".into());
+    let mut f = std::fs::File::create(&out).expect("create bench output");
+    f.write_all(json.as_bytes()).expect("write bench output");
+    println!("wrote {out}");
+
+    if let Some(path) = timing_out_from_env() {
+        let report = store.obs().report();
+        write_timing_report(&path, &report).expect("write mutation timing report");
+        println!("wrote mutation timing report to {}", path.display());
+    }
+
+    assert!(
+        pass,
+        "incremental invalidation must beat a full cache flush by >=1.5x \
+         total serve time (got {speedup:.2}x, {total_migrated} migrated)"
+    );
+}

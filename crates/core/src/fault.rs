@@ -276,6 +276,23 @@ pub struct FleetEvent {
     pub action: FleetAction,
 }
 
+/// A graph-mutation burst pinned to a position in the query stream: the
+/// chaos driver generates `ops` concrete mutations (deterministically,
+/// from the plan seed and the burst's position) and commits them as one
+/// batch through the graph store, optionally under an injected WAL
+/// [`DiskFault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MutationEvent {
+    /// Commit just before the `at_query`-th submitted query (1-based).
+    pub at_query: u64,
+    /// Number of mutation operations in this burst (≥ 1).
+    pub ops: u32,
+    /// Durability fault injected into the WAL append for this batch. A
+    /// faulted batch must be *rejected* by a validated commit — the live
+    /// graph stays on its previous generation.
+    pub disk_fault: Option<DiskFault>,
+}
+
 /// A deterministic fleet-wide chaos schedule: topology events positioned in
 /// the query stream plus one engine-level [`FaultPlan`] per replica.
 ///
@@ -297,6 +314,9 @@ pub struct FleetPlan {
     /// Per-replica engine fault plans (index-aligned; the protected
     /// replica's plan is quiet).
     pub engine_plans: Vec<FaultPlan>,
+    /// Graph-mutation bursts, sorted by [`MutationEvent::at_query`]
+    /// (empty for static-graph chaos runs).
+    pub mutations: Vec<MutationEvent>,
 }
 
 impl FleetPlan {
@@ -371,12 +391,57 @@ impl FleetPlan {
             protected,
             events: planned,
             engine_plans,
+            mutations: Vec::new(),
         }
     }
 
-    /// True when any event or any engine plan can fire.
+    /// [`chaos`](Self::chaos) plus a seeded schedule of `bursts`
+    /// graph-mutation bursts of 1..=`max_ops` operations each, positioned
+    /// across the query stream. Roughly one burst in six carries an
+    /// injected WAL [`DiskFault`] (cycling torn write / bit flip /
+    /// partial flush), exercising the validated-commit rejection path
+    /// interleaved with replica crashes and drains.
+    pub fn chaos_with_mutations(
+        seed: u64,
+        replicas: usize,
+        queries: u64,
+        events: usize,
+        bursts: usize,
+        max_ops: u32,
+    ) -> Self {
+        let mut plan = Self::chaos(seed, replicas, queries, events);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+        let mut positions: Vec<u64> = (0..bursts)
+            .map(|_| rng.random_range(1..=queries.max(1)))
+            .collect();
+        positions.sort_unstable();
+        plan.mutations = positions
+            .into_iter()
+            .map(|at_query| {
+                let ops = rng.random_range(1..=max_ops.max(1));
+                let disk_fault = if rng.random_range(0u32..6) == 0 {
+                    Some(match rng.random_range(0u32..3) {
+                        0 => DiskFault::TornWrite,
+                        1 => DiskFault::BitFlip,
+                        _ => DiskFault::PartialFlush,
+                    })
+                } else {
+                    None
+                };
+                MutationEvent {
+                    at_query,
+                    ops,
+                    disk_fault,
+                }
+            })
+            .collect();
+        plan
+    }
+
+    /// True when any event, engine plan, or mutation burst can fire.
     pub fn faults_possible(&self) -> bool {
         !self.events.is_empty()
+            || !self.mutations.is_empty()
             || self
                 .engine_plans
                 .iter()
@@ -395,6 +460,7 @@ pub struct FleetInjector {
     plan: FleetPlan,
     queries: AtomicU64,
     cursor: Mutex<usize>,
+    mutation_cursor: Mutex<usize>,
 }
 
 impl FleetInjector {
@@ -406,10 +472,17 @@ impl FleetInjector {
                 .all(|w| w[0].at_query <= w[1].at_query),
             "fleet events must be sorted by at_query"
         );
+        debug_assert!(
+            plan.mutations
+                .windows(2)
+                .all(|w| w[0].at_query <= w[1].at_query),
+            "mutation events must be sorted by at_query"
+        );
         Self {
             plan,
             queries: AtomicU64::new(0),
             cursor: Mutex::new(0),
+            mutation_cursor: Mutex::new(0),
         }
     }
 
@@ -432,6 +505,25 @@ impl FleetInjector {
         let mut fired = Vec::new();
         while *cursor < self.plan.events.len() && self.plan.events[*cursor].at_query <= query {
             fired.push(self.plan.events[*cursor].action);
+            *cursor += 1;
+        }
+        fired
+    }
+
+    /// Every mutation burst scheduled at or before `query` (1-based) that
+    /// has not fired yet. Drive it with the same query index the
+    /// [`actions_for_next_query`](Self::actions_for_next_query) call just
+    /// advanced to ([`queries`](Self::queries)), so topology actions and
+    /// mutations interleave at their planned positions.
+    pub fn mutations_before(&self, query: u64) -> Vec<MutationEvent> {
+        let mut cursor = self
+            .mutation_cursor
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let mut fired = Vec::new();
+        while *cursor < self.plan.mutations.len() && self.plan.mutations[*cursor].at_query <= query
+        {
+            fired.push(self.plan.mutations[*cursor]);
             *cursor += 1;
         }
         fired
@@ -605,6 +697,62 @@ mod tests {
         );
         assert_eq!(inj.actions_for_next_query(), Vec::new());
         assert_eq!(inj.queries(), 4);
+    }
+
+    #[test]
+    fn mutation_chaos_plans_replay_and_interleave() {
+        let plan = FleetPlan::chaos_with_mutations(11, 3, 1000, 20, 30, 4);
+        assert_eq!(plan.mutations.len(), 30);
+        assert!(plan.faults_possible());
+        // Deterministic regeneration, sorted positions, sane op counts.
+        let again = FleetPlan::chaos_with_mutations(11, 3, 1000, 20, 30, 4);
+        assert_eq!(plan.mutations, again.mutations);
+        assert_eq!(plan.events, again.events);
+        assert!(plan
+            .mutations
+            .windows(2)
+            .all(|w| w[0].at_query <= w[1].at_query));
+        assert!(plan.mutations.iter().all(|m| (1..=4).contains(&m.ops)));
+        // Over enough seeds, some bursts carry WAL faults and most don't.
+        let faulted: usize = [11u64, 29, 47]
+            .iter()
+            .flat_map(|&s| FleetPlan::chaos_with_mutations(s, 3, 1000, 20, 30, 4).mutations)
+            .filter(|m| m.disk_fault.is_some())
+            .count();
+        assert!(faulted > 0 && faulted < 60, "got {faulted} faulted bursts");
+    }
+
+    #[test]
+    fn mutation_cursor_fires_bursts_at_their_positions() {
+        let plan = FleetPlan {
+            replicas: 1,
+            mutations: vec![
+                MutationEvent {
+                    at_query: 2,
+                    ops: 3,
+                    disk_fault: None,
+                },
+                MutationEvent {
+                    at_query: 2,
+                    ops: 1,
+                    disk_fault: Some(DiskFault::BitFlip),
+                },
+                MutationEvent {
+                    at_query: 4,
+                    ops: 2,
+                    disk_fault: None,
+                },
+            ],
+            ..FleetPlan::default()
+        };
+        let inj = FleetInjector::new(plan);
+        assert!(inj.mutations_before(1).is_empty());
+        let fired = inj.mutations_before(2);
+        assert_eq!(fired.len(), 2);
+        assert_eq!(fired[0].ops, 3);
+        assert_eq!(fired[1].disk_fault, Some(DiskFault::BitFlip));
+        assert!(inj.mutations_before(3).is_empty(), "no double-fire");
+        assert_eq!(inj.mutations_before(9).len(), 1);
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod model;
 pub mod pipeline;
 pub mod runtime;
 pub mod sample;
+pub mod sample_cache;
 pub mod schedule;
 pub mod train;
 pub mod wlnm;
@@ -34,7 +35,7 @@ pub use checkpoint::{CheckpointDir, TrainState};
 pub use error::Error;
 pub use fault::{
     EngineFault, FaultInjector, FaultPlan, FleetAction, FleetEvent, FleetInjector, FleetPlan,
-    TransientFault,
+    MutationEvent, TransientFault,
 };
 pub use features::FeatureConfig;
 pub use model::{DgcnnModel, GnnKind, ModelConfig};
@@ -46,6 +47,7 @@ pub use sample::{
     prepare_batch, prepare_batch_obs, prepare_sample, prepare_sample_obs, PreparedSample,
     SampleTimers,
 };
+pub use sample_cache::SampleCache;
 pub use schedule::{EarlyStopping, LrSchedule};
 pub use train::{
     predict_probs, DivergenceCause, LinkModel, RecoveryEvent, TrainConfig, Trainer, WatchdogConfig,

@@ -1,0 +1,169 @@
+//! Generation-aware cache of prepared (tensorized) samples with
+//! incremental k-hop invalidation.
+//!
+//! Sample preparation (k-hop extraction, DRNL, tensorize) dominates the
+//! cost of re-evaluating a link, so prepared samples are worth caching
+//! across graph mutations. A [`SampleCache`] tags every entry with the
+//! graph generation it was extracted on; when a mutation batch commits,
+//! [`invalidate`](SampleCache::invalidate) drops exactly the entries
+//! whose query endpoints fall inside the commit's
+//! [`AffectedRegion`](amdgcnn_graph::AffectedRegion) — the k-hop
+//! neighborhoods a mutation could have changed — and re-tags the
+//! survivors to the new generation, because an unaffected sample
+//! extracted on generation *g* is bit-identical to one extracted on
+//! *g+1* (that is the invalidation rule's soundness contract, proven in
+//! the mutation chaos tests).
+
+use crate::sample::PreparedSample;
+use amdgcnn_graph::AffectedRegion;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A `(source, destination)` link query key.
+pub type LinkKey = (u32, u32);
+
+/// Generation-tagged store of prepared samples (see module docs).
+#[derive(Debug, Default)]
+pub struct SampleCache {
+    generation: u64,
+    map: HashMap<LinkKey, (Arc<PreparedSample>, u64)>,
+    invalidated: u64,
+    migrated: u64,
+}
+
+impl SampleCache {
+    /// Empty cache at generation 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The graph generation this cache currently serves.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Cached sample for `key`, if present. Entries are only ever stored
+    /// at the cache's current generation, so a hit is always fresh.
+    pub fn get(&self, key: LinkKey) -> Option<Arc<PreparedSample>> {
+        self.map.get(&key).map(|(s, _)| Arc::clone(s))
+    }
+
+    /// Cache `sample` for `key` at the current generation.
+    pub fn insert(&mut self, key: LinkKey, sample: Arc<PreparedSample>) {
+        self.map.insert(key, (sample, self.generation));
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Samples dropped by invalidation since construction.
+    pub fn invalidated(&self) -> u64 {
+        self.invalidated
+    }
+
+    /// Samples that survived a generation roll since construction.
+    pub fn migrated(&self) -> u64 {
+        self.migrated
+    }
+
+    /// Roll the cache forward to `new_generation`: drop every entry whose
+    /// endpoints `region` affects, re-tag the rest. Returns the number of
+    /// entries dropped. Survivors keep their `Arc`s — no re-extraction,
+    /// no copy.
+    pub fn invalidate(&mut self, region: &AffectedRegion, new_generation: u64) -> usize {
+        let before = self.map.len();
+        self.map.retain(|&(a, b), entry| {
+            if region.affects(a, b) {
+                false
+            } else {
+                entry.1 = new_generation;
+                true
+            }
+        });
+        let dropped = before - self.map.len();
+        self.invalidated += dropped as u64;
+        self.migrated += self.map.len() as u64;
+        self.generation = new_generation;
+        dropped
+    }
+
+    /// Drop everything (the full-rebuild baseline the incremental path is
+    /// benchmarked against).
+    pub fn clear(&mut self) {
+        self.invalidated += self.map.len() as u64;
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureConfig;
+    use crate::sample::prepare_sample;
+    use amdgcnn_data::{wn18_like, Wn18Config};
+    use amdgcnn_graph::{GraphMutation, MutableGraph};
+
+    #[test]
+    fn invalidate_drops_affected_and_retags_survivors() {
+        let ds = wn18_like(&Wn18Config::default());
+        let fcfg = FeatureConfig::for_graph(ds.graph.num_node_types());
+        let mut cache = SampleCache::new();
+        let keys: Vec<LinkKey> = ds.test.iter().take(6).map(|l| (l.u, l.v)).collect();
+        for l in ds.test.iter().take(6) {
+            cache.insert((l.u, l.v), Arc::new(prepare_sample(&ds, l, &fcfg)));
+        }
+        assert_eq!(cache.len(), 6);
+        assert_eq!(cache.generation(), 0);
+
+        // Mutate next to the first cached query's source endpoint.
+        let (u0, _) = keys[0];
+        let mut mg = MutableGraph::from_graph(ds.graph.clone());
+        let commit = mg
+            .apply(&[GraphMutation::SetNodeType { node: u0, ntype: 0 }])
+            .expect("commit");
+        let region = commit.region(ds.subgraph.hops as usize);
+        let affected: Vec<LinkKey> = keys
+            .iter()
+            .copied()
+            .filter(|&(a, b)| region.affects(a, b))
+            .collect();
+        assert!(!affected.is_empty(), "the mutated endpoint is cached");
+
+        let dropped = cache.invalidate(&region, commit.generation);
+        assert_eq!(dropped, affected.len());
+        assert_eq!(cache.generation(), 1);
+        assert_eq!(cache.invalidated(), dropped as u64);
+        for key in &keys {
+            if affected.contains(key) {
+                assert!(cache.get(*key).is_none(), "{key:?} must be dropped");
+            } else {
+                assert!(cache.get(*key).is_some(), "{key:?} must survive");
+            }
+        }
+        // Empty region: pure migration, nothing dropped.
+        let before = cache.len();
+        assert_eq!(cache.invalidate(&AffectedRegion::empty(), 2), 0);
+        assert_eq!(cache.len(), before);
+        assert_eq!(cache.generation(), 2);
+    }
+
+    #[test]
+    fn clear_is_the_flush_baseline() {
+        let ds = wn18_like(&Wn18Config::default());
+        let fcfg = FeatureConfig::for_graph(ds.graph.num_node_types());
+        let mut cache = SampleCache::new();
+        for l in ds.test.iter().take(4) {
+            cache.insert((l.u, l.v), Arc::new(prepare_sample(&ds, l, &fcfg)));
+        }
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.invalidated(), 4);
+    }
+}

@@ -38,6 +38,31 @@ pub enum GraphError {
         /// Nodes actually present.
         num_nodes: usize,
     },
+    /// A mutation names a stable edge id that was never allocated.
+    EdgeOutOfRange {
+        /// The offending edge id.
+        edge: u32,
+        /// Edge slots actually allocated.
+        num_edges: usize,
+    },
+    /// A mutation retires an edge that is already retired.
+    EdgeRetired {
+        /// The already-tombstoned edge id.
+        edge: u32,
+    },
+    /// A serialized mutation record carries an unknown operation tag.
+    MalformedMutation {
+        /// The unrecognized tag byte.
+        tag: u8,
+    },
+    /// A serialized mutation record ends mid-operation or carries
+    /// trailing bytes.
+    TruncatedMutation {
+        /// Bytes the decoder needed (or had consumed at the mismatch).
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
 }
 
 impl std::fmt::Display for GraphError {
@@ -50,6 +75,19 @@ impl std::fmt::Display for GraphError {
             GraphError::NodeOutOfRange { node, num_nodes } => {
                 write!(f, "node {node} out of range (have {num_nodes})")
             }
+            GraphError::EdgeOutOfRange { edge, num_edges } => {
+                write!(f, "edge id {edge} out of range (have {num_edges} slots)")
+            }
+            GraphError::EdgeRetired { edge } => {
+                write!(f, "edge id {edge} is already retired")
+            }
+            GraphError::MalformedMutation { tag } => {
+                write!(f, "mutation record has unknown operation tag {tag:#04x}")
+            }
+            GraphError::TruncatedMutation { expected, actual } => write!(
+                f,
+                "mutation record truncated: needed {expected} bytes, have {actual}"
+            ),
         }
     }
 }

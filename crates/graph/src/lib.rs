@@ -34,6 +34,7 @@ pub mod graph;
 pub mod heuristics;
 pub mod katz;
 pub mod khop;
+pub mod mutable;
 pub mod node2vec;
 pub mod pagerank;
 pub mod simrank;
@@ -45,4 +46,8 @@ pub use graph::{Edge, GraphBuilder, GraphError, KnowledgeGraph};
 pub use khop::{
     extract_neighborhood, label_with_drnl, EnclosingSubgraph, InducedSubgraph, LocalEdge,
     NeighborhoodMode, SubgraphConfig,
+};
+pub use mutable::{
+    graph_digest, AffectedRegion, Commit, GraphMutation, MutableGraph, MutationWal, WalError,
+    WalRecovery,
 };

@@ -9,6 +9,7 @@ use crate::stats::{ServerStats, StatsCollector};
 use am_dgcnn::fault::{EngineFault, FaultInjector, TransientFault};
 use am_dgcnn::{prepare_sample, DgcnnModel, FeatureConfig, LinkModel, PreparedSample};
 use amdgcnn_data::{Dataset, LabeledLink};
+use amdgcnn_graph::AffectedRegion;
 use amdgcnn_tensor::{ParamStore, Tape};
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -35,6 +36,16 @@ struct CacheEntry {
     probs: OnceLock<ClassProbs>,
 }
 
+/// One cached slot: the entry, its LRU stamp, and the graph generation it
+/// was extracted on. The generation tag is what makes live graph mutation
+/// safe: an entry whose generation predates the engine's is *stale* and
+/// must never be served.
+struct CacheSlot {
+    entry: Arc<CacheEntry>,
+    stamp: u64,
+    generation: u64,
+}
+
 /// Bounded map from query to [`CacheEntry`], evicting the
 /// least-recently-used entry when full.
 ///
@@ -44,7 +55,7 @@ struct CacheEntry {
 /// workloads.
 struct LruCache {
     capacity: usize,
-    map: HashMap<LinkQuery, (Arc<CacheEntry>, u64)>,
+    map: HashMap<LinkQuery, CacheSlot>,
     clock: u64,
 }
 
@@ -57,16 +68,16 @@ impl LruCache {
         }
     }
 
-    fn get(&mut self, key: &LinkQuery) -> Option<Arc<CacheEntry>> {
+    fn get(&mut self, key: &LinkQuery) -> Option<(Arc<CacheEntry>, u64)> {
         self.clock += 1;
         let clock = self.clock;
-        self.map.get_mut(key).map(|(v, stamp)| {
-            *stamp = clock;
-            Arc::clone(v)
+        self.map.get_mut(key).map(|slot| {
+            slot.stamp = clock;
+            (Arc::clone(&slot.entry), slot.generation)
         })
     }
 
-    fn insert(&mut self, key: LinkQuery, value: Arc<CacheEntry>) {
+    fn insert(&mut self, key: LinkQuery, value: Arc<CacheEntry>, generation: u64) {
         if self.capacity == 0 {
             return;
         }
@@ -77,13 +88,20 @@ impl LruCache {
             if let Some(victim) = self
                 .map
                 .iter()
-                .min_by_key(|(_, (_, stamp))| *stamp)
+                .min_by_key(|(_, slot)| slot.stamp)
                 .map(|(k, _)| *k)
             {
                 self.map.remove(&victim);
             }
         }
-        self.map.insert(key, (value, self.clock));
+        self.map.insert(
+            key,
+            CacheSlot {
+                entry: value,
+                stamp: self.clock,
+                generation,
+            },
+        );
     }
 
     fn len(&self) -> usize {
@@ -104,6 +122,10 @@ pub struct InferenceEngine {
     fcfg: FeatureConfig,
     cache: Mutex<LruCache>,
     injector: Option<Arc<FaultInjector>>,
+    /// Graph generation this engine's dataset snapshot belongs to. Cache
+    /// entries carry the generation they were extracted on; a hit from an
+    /// older generation is stale and is recomputed, never served.
+    generation: u64,
     pub(crate) stats: StatsCollector,
 }
 
@@ -148,8 +170,53 @@ impl InferenceEngine {
             fcfg,
             cache: Mutex::new(LruCache::new(cache_capacity)),
             injector: None,
+            generation: 0,
             stats: StatsCollector::default(),
         })
+    }
+
+    /// Tag this engine with the graph generation its dataset snapshot was
+    /// built on (0 for a static graph). Call right after construction,
+    /// before any queries.
+    pub fn with_graph_generation(mut self, generation: u64) -> Self {
+        self.generation = generation;
+        self
+    }
+
+    /// The graph generation this engine serves.
+    pub fn graph_generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Adopt the surviving cache entries of `old` (an engine serving an
+    /// earlier graph generation): entries whose query endpoints fall inside
+    /// `region` are dropped — the mutation may have changed their enclosing
+    /// subgraphs — and the rest are migrated to this engine's generation,
+    /// prepared subgraphs and memoized answers intact. Sound because an
+    /// unaffected query's extraction inputs are identical on both
+    /// snapshots, so its prepared sample and probabilities are
+    /// bit-identical too. Returns `(invalidated, migrated)`.
+    pub fn migrate_cache_from(
+        &self,
+        old: &InferenceEngine,
+        region: &AffectedRegion,
+    ) -> (usize, usize) {
+        let old_cache = lock_cache(&old.cache);
+        let mut cache = lock_cache(&self.cache);
+        let (mut invalidated, mut migrated) = (0usize, 0usize);
+        for (key, slot) in old_cache.map.iter() {
+            if region.affects(key.0, key.1) {
+                invalidated += 1;
+            } else {
+                cache.insert(*key, Arc::clone(&slot.entry), self.generation);
+                migrated += 1;
+            }
+        }
+        drop(cache);
+        drop(old_cache);
+        self.stats.record_cache_invalidated(invalidated as u64);
+        self.stats.record_cache_migrated(migrated as u64);
+        (invalidated, migrated)
     }
 
     /// Attach an observability registry: the engine's `serve/*` counters
@@ -273,10 +340,24 @@ impl InferenceEngine {
         }
 
         // Resolve cache hits under one short lock; extraction happens
-        // outside it.
+        // outside it. A hit tagged with an older graph generation is a
+        // *stale* entry that incremental invalidation should have dropped:
+        // it is counted (the chaos harness asserts this stays 0) and then
+        // discarded, so the answer is always recomputed on the engine's
+        // own snapshot — staleness is detected, never served.
         let resolved: Vec<Option<Arc<CacheEntry>>> = {
             let mut cache = lock_cache(&self.cache);
-            unique.iter().map(|q| cache.get(q)).collect()
+            unique
+                .iter()
+                .map(|q| match cache.get(q) {
+                    Some((entry, gen)) if gen == self.generation => Some(entry),
+                    Some(_) => {
+                        self.stats.record_stale_serves(1);
+                        None
+                    }
+                    None => None,
+                })
+                .collect()
         };
 
         // LRU hits and intra-batch dedup both skip extraction but are
@@ -312,7 +393,7 @@ impl InferenceEngine {
         {
             let mut cache = lock_cache(&self.cache);
             for (q, e) in unique.iter().zip(&entries) {
-                cache.insert(*q, Arc::clone(e));
+                cache.insert(*q, Arc::clone(e), self.generation);
             }
         }
 
@@ -390,14 +471,37 @@ mod tests {
                 },
             })
         };
-        lru.insert((0, 1), s(0));
-        lru.insert((0, 2), s(1));
+        lru.insert((0, 1), s(0), 0);
+        lru.insert((0, 2), s(1), 0);
         assert!(lru.get(&(0, 1)).is_some()); // freshen (0,1)
-        lru.insert((0, 3), s(2)); // evicts (0,2)
+        lru.insert((0, 3), s(2), 0); // evicts (0,2)
         assert!(lru.get(&(0, 2)).is_none());
         assert!(lru.get(&(0, 1)).is_some());
         assert!(lru.get(&(0, 3)).is_some());
         assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn cache_slots_carry_their_graph_generation() {
+        let mut lru = LruCache::new(4);
+        lru.insert(
+            (3, 4),
+            Arc::new(CacheEntry {
+                probs: OnceLock::new(),
+                sample: PreparedSample {
+                    features: amdgcnn_tensor::Matrix::zeros(1, 1),
+                    graph: amdgcnn_nn::MessageGraph::from_undirected(1, &[]),
+                    label: 0,
+                    num_nodes: 1,
+                    num_edges: 0,
+                    edges: Vec::new(),
+                    drnl: vec![0],
+                },
+            }),
+            7,
+        );
+        let (_, gen) = lru.get(&(3, 4)).expect("hit");
+        assert_eq!(gen, 7, "the generation tag must survive the round trip");
     }
 
     #[test]
@@ -417,6 +521,7 @@ mod tests {
                     drnl: vec![0],
                 },
             }),
+            0,
         );
         assert_eq!(lru.len(), 0);
         assert!(lru.get(&(1, 2)).is_none());

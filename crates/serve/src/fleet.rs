@@ -47,9 +47,11 @@ use crate::server::{BatchConfig, BatchServer, PendingQuery, Request, RobustnessC
 use crate::stats::ServerStats;
 use am_dgcnn::fault::{FaultInjector, FleetAction};
 use amdgcnn_data::Dataset;
+use amdgcnn_graph::AffectedRegion;
 use amdgcnn_obs::{Counter, Obs, Timer};
 use std::io;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::time::Duration;
 
 /// Fleet sizing and policy.
@@ -110,6 +112,7 @@ struct FleetCounters {
     drains: Counter,
     redistributed: Counter,
     health_transitions: Counter,
+    graph_rolls: Counter,
     query_latency: Timer,
 }
 
@@ -127,6 +130,7 @@ impl FleetCounters {
             drains: obs.counter("fleet/replica_drains"),
             redistributed: obs.counter("fleet/redistributed"),
             health_transitions: obs.counter("fleet/health_transitions"),
+            graph_rolls: obs.counter("fleet/graph_rolls"),
             query_latency: obs.timer("fleet/query"),
         }
     }
@@ -142,7 +146,14 @@ impl FleetCounters {
 /// panics; the fleet only adds the tier above.
 pub struct Fleet {
     artifact: Arc<Vec<u8>>,
-    ds: Dataset,
+    /// The served dataset generation. Swapped by
+    /// [`roll_graph`](Fleet::roll_graph); respawns and graph rolls always
+    /// bind replicas to the current generation.
+    ds: RwLock<Arc<Dataset>>,
+    /// Graph generation the current dataset belongs to (0 for a static
+    /// graph); engines are tagged with it so stale cache hits are
+    /// detectable.
+    graph_generation: AtomicU64,
     cfg: FleetConfig,
     ring: HashRing,
     slots: Vec<Mutex<Slot>>,
@@ -194,7 +205,8 @@ impl Fleet {
         let fleet = Self {
             ring: HashRing::with_vnodes(cfg.replicas, cfg.vnodes),
             artifact: Arc::new(artifact),
-            ds,
+            ds: RwLock::new(Arc::new(ds)),
+            graph_generation: AtomicU64::new(0),
             slots: (0..cfg.replicas)
                 .map(|_| {
                     Mutex::new(Slot {
@@ -217,21 +229,38 @@ impl Fleet {
         Ok(fleet)
     }
 
-    /// Build a fresh server for replica `r` from the stored artifact.
+    /// Build a fresh server for replica `r` from the stored artifact,
+    /// bound to the *current* dataset generation.
     fn build_server(&self, r: usize) -> io::Result<BatchServer> {
-        let mut engine = InferenceEngine::load(
-            self.artifact.as_slice(),
-            self.ds.clone(),
-            self.cfg.cache_capacity,
-        )?;
-        if let Some(inj) = &self.injectors[r] {
-            engine = engine.with_fault_injector(Arc::clone(inj));
-        }
         Ok(BatchServer::start_with(
-            engine,
+            self.build_engine(r)?,
             self.cfg.batch,
             self.cfg.robust,
         ))
+    }
+
+    fn build_engine(&self, r: usize) -> io::Result<InferenceEngine> {
+        let ds = self.dataset();
+        let mut engine = InferenceEngine::load(
+            self.artifact.as_slice(),
+            (*ds).clone(),
+            self.cfg.cache_capacity,
+        )?
+        .with_graph_generation(self.graph_generation.load(Ordering::SeqCst));
+        if let Some(inj) = &self.injectors[r] {
+            engine = engine.with_fault_injector(Arc::clone(inj));
+        }
+        Ok(engine)
+    }
+
+    /// The dataset generation the fleet currently serves.
+    pub fn dataset(&self) -> Arc<Dataset> {
+        Arc::clone(&self.ds.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Graph generation of the served dataset (0 for a static graph).
+    pub fn graph_generation(&self) -> u64 {
+        self.graph_generation.load(Ordering::SeqCst)
     }
 
     fn lock_slot(&self, r: usize) -> MutexGuard<'_, Slot> {
@@ -524,6 +553,89 @@ impl Fleet {
         let _ = req.reply.send(Err(Error::FleetUnavailable { attempts: 0 }));
     }
 
+    /// Roll every replica forward to a freshly committed graph generation
+    /// without dropping a single admitted query.
+    ///
+    /// Protocol, per live replica: build a new engine against `dataset`
+    /// (same artifact, new graph snapshot), migrate the old engine's
+    /// cache across — entries whose endpoints fall inside `region` are
+    /// dropped because the mutation may have changed their enclosing
+    /// subgraphs, the rest carry over with prepared subgraphs and
+    /// memoized answers intact — start a replacement server, swap it into
+    /// the slot, then move the old server's still-queued requests back
+    /// onto the ring (reply channels intact; with the replacement live
+    /// they are adopted at the same slot). The old incarnation finishes
+    /// its in-flight batch on the generation those queries were admitted
+    /// under — snapshot isolation, not staleness — and shuts down.
+    ///
+    /// Down or draining slots are skipped; a later respawn binds them to
+    /// the current generation automatically.
+    ///
+    /// Returns the number of queued requests carried across the swap.
+    ///
+    /// # Errors
+    /// Engine construction failure aborts the roll for the remaining
+    /// replicas; already-swapped replicas keep serving the new generation
+    /// (the dataset swap happens first, so every rebuild binds the new
+    /// snapshot).
+    pub fn roll_graph(
+        &self,
+        dataset: Arc<Dataset>,
+        region: &AffectedRegion,
+        generation: u64,
+    ) -> io::Result<usize> {
+        *self.ds.write().unwrap_or_else(|e| e.into_inner()) = Arc::clone(&dataset);
+        self.graph_generation.store(generation, Ordering::SeqCst);
+        let mut moved = 0usize;
+        for r in 0..self.cfg.replicas {
+            let old = {
+                let slot = self.lock_slot(r);
+                if slot.draining {
+                    continue;
+                }
+                match slot.server.as_ref() {
+                    Some(s) => Arc::clone(s),
+                    None => continue,
+                }
+            };
+            let engine = self.build_engine(r)?;
+            engine.migrate_cache_from(old.engine(), region);
+            let server = Arc::new(BatchServer::start_with(
+                engine,
+                self.cfg.batch,
+                self.cfg.robust,
+            ));
+            {
+                let mut slot = self.lock_slot(r);
+                match &slot.server {
+                    Some(cur) if Arc::ptr_eq(cur, &old) => {
+                        slot.server = Some(Arc::clone(&server));
+                        slot.generation += 1;
+                    }
+                    // Lost a race against a concurrent crash/drain/swap;
+                    // the fresh server just shuts down.
+                    _ => {
+                        server.begin_shutdown();
+                        continue;
+                    }
+                }
+            }
+            let taken = old.begin_drain_take_queued();
+            moved += taken.len();
+            for req in taken {
+                self.redistribute(req);
+            }
+            drop(old);
+        }
+        self.counters.graph_rolls.inc();
+        self.counters.redistributed.add(moved as u64);
+        self.obs.event("fleet/graph", || {
+            format!("rolled to graph generation {generation}")
+        });
+        self.note_health();
+        Ok(moved)
+    }
+
     /// Force replica `r`'s circuit breaker open (chaos "open breaker").
     /// No-op on a down slot.
     pub fn trip_replica_breaker(&self, r: usize) {
@@ -617,6 +729,7 @@ impl Fleet {
             drains: self.counters.drains.get(),
             redistributed: self.counters.redistributed.get(),
             health_transitions: self.counters.health_transitions.get(),
+            graph_rolls: self.counters.graph_rolls.get(),
             p50_query_latency: Duration::from_nanos(lat.quantile_ns(0.50)),
             p99_query_latency: Duration::from_nanos(lat.quantile_ns(0.99)),
             replicas: replica_stats,
@@ -673,6 +786,8 @@ pub struct FleetStats {
     pub redistributed: u64,
     /// Fleet health state changes observed.
     pub health_transitions: u64,
+    /// Graph-generation rolls completed ([`Fleet::roll_graph`]).
+    pub graph_rolls: u64,
     /// Median end-to-end fleet query latency (includes failover/hedging).
     pub p50_query_latency: Duration,
     /// 99th-percentile end-to-end fleet query latency.
@@ -689,7 +804,8 @@ impl std::fmt::Display for FleetStats {
             f,
             "fleet {}: {}/{} answered ({} failed), p50 {:?} p99 {:?}, \
              {} failovers, {} hedges ({} won), {} crashes / {} respawns / \
-             {} drains ({} redistributed), {} health transitions",
+             {} drains ({} redistributed), {} graph rolls, \
+             {} health transitions",
             self.health,
             self.answered,
             self.queries,
@@ -703,6 +819,7 @@ impl std::fmt::Display for FleetStats {
             self.respawns,
             self.drains,
             self.redistributed,
+            self.graph_rolls,
             self.health_transitions
         )
     }

@@ -1,6 +1,6 @@
 //! Batched inference serving for AM-DGCNN link classification.
 //!
-//! Five layers, each usable on its own:
+//! Six layers, each usable on its own:
 //!
 //! 1. [`artifact`] — a versioned single-file model format bundling the
 //!    architecture ([`am_dgcnn::ModelConfig`] with its
@@ -18,11 +18,18 @@
 //!    versioned slot with **validated hot-swap**: a replacement artifact
 //!    must pass checksum, finiteness, and dataset-binding checks before it
 //!    becomes visible, so a corrupt file can never displace a good model.
-//! 5. [`fleet`] — a [`Fleet`] of `BatchServer` replicas behind a
+//! 5. [`graph_store`] — a [`GraphStore`] holding the live *graph* behind
+//!    a generation-versioned slot with **validated mutation commits**: a
+//!    batch must pass semantic validation and a read-back-verified WAL
+//!    append before a new snapshot generation becomes visible, so a
+//!    damaged write can never corrupt the served graph — and the WAL
+//!    always replays to a graph bit-identical to the live one.
+//! 6. [`fleet`] — a [`Fleet`] of `BatchServer` replicas behind a
 //!    consistent-hash router ([`ring`], [`health`]): automatic failover,
-//!    tail-latency hedging, live drain/respawn, and fleet-level health —
-//!    every answer bit-identical to a single server's, whichever replica
-//!    computes it.
+//!    tail-latency hedging, live drain/respawn, graph-generation rolls
+//!    with incremental k-hop cache invalidation
+//!    ([`Fleet::roll_graph`]), and fleet-level health — every answer
+//!    bit-identical to a single server's, whichever replica computes it.
 //!
 //! The server layer is fault-tolerant: admission is gated by a bounded
 //! queue and a circuit breaker ([`RobustnessConfig`]), queued queries can
@@ -71,6 +78,7 @@ pub mod artifact;
 pub mod engine;
 pub mod error;
 pub mod fleet;
+pub mod graph_store;
 pub mod health;
 pub mod ring;
 pub mod server;
@@ -84,6 +92,7 @@ pub use artifact::{
 pub use engine::{ClassProbs, InferenceEngine, LinkQuery};
 pub use error::Error;
 pub use fleet::{Fleet, FleetConfig, FleetStats};
+pub use graph_store::{GraphCommit, GraphStore, GraphStoreError};
 pub use health::{FleetHealth, ReplicaHealth};
 pub use ring::HashRing;
 pub use server::{BatchConfig, BatchServer, PendingQuery, RobustnessConfig};

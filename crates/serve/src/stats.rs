@@ -27,6 +27,9 @@ pub(crate) struct StatsCollector {
     cache_hits: Counter,
     cache_misses: Counter,
     dedup_hits: Counter,
+    stale_serves: Counter,
+    cache_invalidated: Counter,
+    cache_migrated: Counter,
     batches: Counter,
     shed_overload: Counter,
     shed_degraded: Counter,
@@ -74,6 +77,9 @@ impl StatsCollector {
             cache_hits: obs.counter("serve/cache_hits"),
             cache_misses: obs.counter("serve/cache_misses"),
             dedup_hits: obs.counter("serve/dedup_hits"),
+            stale_serves: obs.counter("serve/stale_serves"),
+            cache_invalidated: obs.counter("serve/cache_invalidated"),
+            cache_migrated: obs.counter("serve/cache_migrated"),
             batches: obs.counter("serve/batches"),
             shed_overload: obs.counter("serve/shed_overload"),
             shed_degraded: obs.counter("serve/shed_degraded"),
@@ -114,6 +120,25 @@ impl StatsCollector {
 
     pub(crate) fn record_dedup_hits(&self, n: u64) {
         self.dedup_hits.add(n);
+    }
+
+    /// Cache hits whose entry predated the engine's graph generation —
+    /// answers that *would* have been stale. They are discarded and
+    /// recomputed, so this counter staying 0 is the witness that k-hop
+    /// invalidation dropped every affected entry.
+    pub(crate) fn record_stale_serves(&self, n: u64) {
+        self.stale_serves.add(n);
+    }
+
+    /// Cache entries dropped during a graph-generation roll because the
+    /// mutation's affected region covered their endpoints.
+    pub(crate) fn record_cache_invalidated(&self, n: u64) {
+        self.cache_invalidated.add(n);
+    }
+
+    /// Cache entries carried across a graph-generation roll untouched.
+    pub(crate) fn record_cache_migrated(&self, n: u64) {
+        self.cache_migrated.add(n);
     }
 
     pub(crate) fn record_shed_overload(&self, n: u64) {
@@ -224,6 +249,9 @@ impl StatsCollector {
             cache_hits: hits,
             cache_misses: misses,
             dedup_hits: dedup,
+            stale_serves: self.stale_serves.get(),
+            cache_invalidated: self.cache_invalidated.get(),
+            cache_migrated: self.cache_migrated.get(),
             cache_hit_rate: if hits + misses == 0 {
                 0.0
             } else {
@@ -302,6 +330,18 @@ pub struct ServerStats {
     /// Queries answered by deduplication against an earlier copy of the
     /// same pair *within their own batch*; they never probed the LRU.
     pub dedup_hits: u64,
+    /// Cache hits whose entry was tagged with an older graph generation
+    /// than the engine's. The hit is discarded and recomputed — a stale
+    /// answer is detected, never served — so under correct incremental
+    /// invalidation this is always 0 (asserted by the mutation chaos
+    /// harness).
+    pub stale_serves: u64,
+    /// Cache entries dropped during graph-generation rolls because the
+    /// committed mutation's k-hop region covered their endpoints.
+    pub cache_invalidated: u64,
+    /// Cache entries (prepared subgraphs + memoized answers) carried
+    /// across graph-generation rolls without recomputation.
+    pub cache_migrated: u64,
     /// LRU effectiveness only: `cache_hits / (cache_hits + cache_misses)`,
     /// `0.0` before any lookup. Batch dedup is excluded from both sides.
     pub cache_hit_rate: f64,
@@ -377,6 +417,9 @@ impl ServerStats {
             cache_hits: hits,
             cache_misses: misses,
             dedup_hits: self.dedup_hits + other.dedup_hits,
+            stale_serves: self.stale_serves + other.stale_serves,
+            cache_invalidated: self.cache_invalidated + other.cache_invalidated,
+            cache_migrated: self.cache_migrated + other.cache_migrated,
             cache_hit_rate: if hits + misses == 0 {
                 0.0
             } else {
@@ -417,7 +460,8 @@ impl std::fmt::Display for ServerStats {
         write!(
             f,
             "{} queries in {} batches (mean {:.1}/batch), cache hit rate {:.1}% \
-             (+{} batch-dedup), batch latency p50 {:?} p99 {:?}, \
+             (+{} batch-dedup), {} stale serves, cache roll {} invalidated / {} migrated, \
+             batch latency p50 {:?} p99 {:?}, \
              shed {} overload / {} degraded, {} deadline-expired, {} failed, \
              {} panics ({} respawns), breaker {} trips / {} resets, {} retries, \
              {} failovers, {} hedges ({} won)",
@@ -426,6 +470,9 @@ impl std::fmt::Display for ServerStats {
             self.mean_batch_size,
             self.cache_hit_rate * 100.0,
             self.dedup_hits,
+            self.stale_serves,
+            self.cache_invalidated,
+            self.cache_migrated,
             self.p50_batch_latency,
             self.p99_batch_latency,
             self.shed_overload,

@@ -17,7 +17,7 @@ use am_dgcnn::{
 use amdgcnn_data::{wn18_like, Dataset, Wn18Config};
 use amdgcnn_obs::Obs;
 use amdgcnn_serve::{
-    save_model, ArtifactMeta, BatchConfig, BatchServer, ClassProbs, Fleet, FleetConfig,
+    save_model, ArtifactMeta, BatchConfig, BatchServer, ClassProbs, Error, Fleet, FleetConfig,
     FleetHealth, InferenceEngine, LinkQuery, RobustnessConfig,
 };
 use proptest::prelude::*;
@@ -382,6 +382,105 @@ fn drain_respawn_under_live_traffic_loses_no_request() {
     let stats = fleet.stats();
     assert_eq!(stats.failed, 0, "{stats}");
     assert_eq!(stats.queries, 4 * 120);
+    fleet.shutdown();
+}
+
+/// Single-replica degenerate case, drain side: draining the only replica
+/// has no ring successor to redistribute to, so queued requests and later
+/// queries must fail *typed* ([`Error::FleetUnavailable`]) and *promptly*
+/// — never hang on a ring with no live slot.
+#[test]
+fn single_replica_drain_fails_typed_not_hanging() {
+    let (artifact, ds) = artifact_and_ds();
+    let queries: Vec<LinkQuery> = ds.test.iter().map(|l| (l.u, l.v)).collect();
+    // Pin the lone engine so client queries pile up in its queue before
+    // the drain pulls the rug out.
+    let slow = am_dgcnn::FaultPlan {
+        latency_every_n_calls: Some(1),
+        latency: Duration::from_millis(40),
+        ..am_dgcnn::FaultPlan::default()
+    };
+    let fleet = Arc::new(
+        Fleet::start_with(
+            artifact.clone(),
+            ds.clone(),
+            FleetConfig {
+                replicas: 1,
+                batch: BatchConfig {
+                    max_batch: 1,
+                    max_wait: Duration::from_micros(100),
+                },
+                hedge_after: Duration::from_secs(30),
+                ..FleetConfig::default()
+            },
+            Obs::disabled(),
+            vec![Arc::new(FaultInjector::new(slow))],
+        )
+        .expect("fleet starts"),
+    );
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let fleet = Arc::clone(&fleet);
+            let q = queries[i % queries.len()];
+            std::thread::spawn(move || fleet.query(q))
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(10));
+    fleet.drain_replica(0);
+    // Queued requests had nowhere to go: each resolves (in-flight work may
+    // still answer; the rest error typed), and none hangs the join.
+    for h in handles {
+        match h.join().expect("client thread resolves") {
+            Ok(probs) => assert_eq!(probs.len(), ds.num_classes),
+            Err(e) => assert!(
+                matches!(e, Error::FleetUnavailable { .. }),
+                "queued request on a successor-less drain must fail typed, got {e}"
+            ),
+        }
+    }
+    // The empty ring refuses new queries immediately with the same type.
+    let err = fleet.query(queries[0]).expect_err("no replica is routable");
+    assert!(matches!(err, Error::FleetUnavailable { .. }), "{err}");
+    assert_eq!(fleet.stats().drains, 1);
+    fleet.shutdown();
+}
+
+/// Single-replica degenerate case, crash side: after the last replica
+/// crashes the fleet reports [`Error::FleetUnavailable`]; respawning that
+/// slot restores routing and answers stay bit-identical.
+#[test]
+fn respawn_after_last_crash_restores_routing() {
+    let (artifact, ds) = artifact_and_ds();
+    let queries: Vec<LinkQuery> = ds.test.iter().map(|l| (l.u, l.v)).collect();
+    let expected = reference_answers(&queries);
+    let fleet = Fleet::start(
+        artifact.clone(),
+        ds.clone(),
+        FleetConfig {
+            replicas: 1,
+            ..FleetConfig::default()
+        },
+    )
+    .expect("fleet starts");
+    for &q in &queries {
+        assert_eq!(fleet.query(q).expect("healthy"), expected[&q]);
+    }
+    fleet.kill_replica(0);
+    let err = fleet
+        .query(queries[0])
+        .expect_err("a fully crashed fleet cannot answer");
+    assert!(matches!(err, Error::FleetUnavailable { .. }), "{err}");
+    fleet.respawn_replica(0).expect("respawn from artifact");
+    for &q in &queries {
+        assert_eq!(
+            fleet.query(q).expect("routing restored"),
+            expected[&q],
+            "post-respawn answers are bit-identical"
+        );
+    }
+    let stats = fleet.stats();
+    assert_eq!(stats.crashes, 1, "{stats}");
+    assert_eq!(stats.respawns, 1, "{stats}");
     fleet.shutdown();
 }
 

@@ -49,9 +49,11 @@ pub mod matmul;
 pub mod matrix;
 pub mod param;
 pub mod sparse;
+pub mod wal;
 
 pub use autograd::{Conv1dSpec, Tape, Var};
 pub use durable::{crc32, write_atomic, DiskFault};
 pub use matrix::Matrix;
 pub use param::{GradStore, ParamId, ParamStore};
 pub use sparse::{CsrGraph, CsrMatrix, Reduce};
+pub use wal::{Wal, WalReplay};

@@ -31,9 +31,19 @@ pub struct CsrMatrix {
 }
 
 impl CsrMatrix {
-    /// Build from COO triplets `(row, col, value)` in any order. Duplicate
-    /// coordinates — adjacent or split anywhere across the input — are
-    /// summed by an explicit dedup pass after sorting.
+    /// Build from COO triplets `(row, col, value)` in any order.
+    ///
+    /// **Duplicate rule (contract):** duplicate coordinates — adjacent or
+    /// split anywhere across the input — are **summed** by an explicit
+    /// dedup pass after sorting; the result holds one entry per distinct
+    /// coordinate whose value is the sum of every occurrence, and input
+    /// order never matters. This is *not* last-wins. Adjacency matrices
+    /// built from multigraph edge lists (katz/pagerank weighting, GCN
+    /// normalization) rely on parallel edges accumulating multiplicity,
+    /// and graph-mutation replay relies on a replayed edge list producing
+    /// the same matrix as the live one regardless of the order mutations
+    /// interleaved — both hold only under summation, which is
+    /// order-independent.
     pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Self {
         let mut sorted: Vec<(usize, usize, f32)> = triplets.to_vec();
         sorted.sort_unstable_by_key(|&(r, c, _)| (r, c));
@@ -802,6 +812,25 @@ mod tests {
         assert_eq!(m.nnz(), 3);
         assert_eq!(m.to_dense().get(1, 2), 7.0);
         assert_eq!(m.to_dense().get(0, 0), 5.0);
+    }
+
+    #[test]
+    fn duplicate_rule_is_sum_not_last_wins_and_order_free() {
+        // Pin the documented duplicate contract: duplicate (u,v) entries
+        // sum — the value is NOT the last occurrence — and any input
+        // permutation builds the identical matrix. Mutation replay feeds
+        // edge lists in whatever order the WAL recorded them, so a
+        // replayed adjacency must be bit-identical to the live one.
+        let dup = &[(0usize, 1usize, 2.0f32), (2, 2, 9.0), (0, 1, 3.0)];
+        let m = CsrMatrix::from_triplets(3, 3, dup);
+        assert_eq!(m.to_dense().get(0, 1), 5.0, "summed, not last-wins (3.0)");
+        let mut reversed = dup.to_vec();
+        reversed.reverse();
+        assert_eq!(
+            m,
+            CsrMatrix::from_triplets(3, 3, &reversed),
+            "duplicate merging must be order-independent"
+        );
     }
 
     #[test]

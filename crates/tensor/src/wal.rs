@@ -1,0 +1,497 @@
+//! Append-only CRC-guarded write-ahead log.
+//!
+//! A [`Wal`] is a single file holding a fixed header followed by
+//! length-prefixed records, each guarded by its own CRC-32:
+//!
+//! ```text
+//! [ b"AMWL" ][ version u32 LE ]                    file header (8 bytes)
+//! [ len u32 LE ][ crc32(payload) u32 LE ][ payload ]   record, repeated
+//! ```
+//!
+//! Appends are flushed (`sync_data`) before returning, so a record whose
+//! `append` returned `Ok` survives a crash. A crash *during* an append
+//! leaves a torn record at the tail; [`Wal::open`] replays the valid
+//! prefix, reports what it had to drop, and truncates the file back to
+//! that prefix so later appends extend a clean log. Replay never fails on
+//! a damaged tail — that is the expected post-crash state — it only fails
+//! on a damaged *header*, which means the file is not a WAL at all.
+//!
+//! Fault injection mirrors [`durable::write_atomic`](crate::durable):
+//! [`Wal::append_faulty`] accepts a [`DiskFault`] that deterministically
+//! simulates the three durability failures at the record level (torn
+//! tail, bit flip inside a record, record lost before flush).
+
+use crate::durable::{crc32, DiskFault};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every WAL file.
+pub const WAL_MAGIC: &[u8; 4] = b"AMWL";
+/// Current WAL format version.
+pub const WAL_VERSION: u32 = 1;
+/// Header length: magic + version.
+const HEADER_LEN: u64 = 8;
+/// Per-record frame overhead: length + CRC.
+const FRAME_LEN: usize = 8;
+/// Refuse records larger than this (a length field beyond it means the
+/// length itself is corrupt, not that someone logged a 2 GiB record).
+pub const MAX_RECORD_LEN: u32 = 64 << 20;
+
+/// What [`Wal::open`] found when replaying an existing log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalReplay {
+    /// Every intact record's payload, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Bytes of valid log (header + intact records) — the offset the file
+    /// was truncated back to.
+    pub valid_len: u64,
+    /// Bytes of damaged tail dropped during repair (0 for a clean log).
+    pub dropped_bytes: u64,
+}
+
+impl WalReplay {
+    /// True when the log ended cleanly, with no damaged tail.
+    pub fn clean(&self) -> bool {
+        self.dropped_bytes == 0
+    }
+}
+
+/// An append-only CRC-guarded record log (see module docs for the format).
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    /// Records currently durable in this log.
+    records: u64,
+}
+
+impl Wal {
+    /// Create a fresh log at `path`, truncating any existing file.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from create/write/sync.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(WAL_MAGIC)?;
+        file.write_all(&WAL_VERSION.to_le_bytes())?;
+        file.sync_all()?;
+        Ok(Self {
+            file,
+            path: path.to_path_buf(),
+            records: 0,
+        })
+    }
+
+    /// Open an existing log (or create a fresh one), replaying every
+    /// intact record and repairing a damaged tail by truncation. The
+    /// returned [`WalReplay`] holds the surviving payloads; subsequent
+    /// [`append`](Self::append)s extend the repaired log.
+    ///
+    /// # Errors
+    /// `InvalidData` when the file exists but its header is not a WAL
+    /// header (wrong magic or unsupported version); other I/O errors are
+    /// propagated.
+    pub fn open(path: &Path) -> io::Result<(Self, WalReplay)> {
+        if !path.exists() {
+            let wal = Self::create(path)?;
+            return Ok((
+                wal,
+                WalReplay {
+                    records: Vec::new(),
+                    valid_len: HEADER_LEN,
+                    dropped_bytes: 0,
+                },
+            ));
+        }
+        let replay = replay(path)?;
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        // Repair: drop the damaged tail so future appends start on a
+        // record boundary.
+        file.set_len(replay.valid_len)?;
+        file.sync_all()?;
+        let mut wal = Self {
+            file,
+            path: path.to_path_buf(),
+            records: replay.records.len() as u64,
+        };
+        wal.file.seek(SeekFrom::End(0))?;
+        Ok((wal, replay))
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records durably appended so far (including replayed ones).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Append one record and flush it to disk. When this returns `Ok`,
+    /// the record survives a crash.
+    ///
+    /// # Errors
+    /// Propagates I/O errors; `InvalidInput` when the payload exceeds
+    /// [`MAX_RECORD_LEN`].
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+        self.append_faulty(payload, None)
+    }
+
+    /// [`append`](Self::append) with deterministic fault injection:
+    /// - [`DiskFault::TornWrite`]: only the first half of the framed
+    ///   record reaches the disk (a crash racing writeback) — replay
+    ///   drops the torn tail;
+    /// - [`DiskFault::BitFlip`]: the full record lands with one bit
+    ///   flipped mid-payload — the record CRC catches it on replay;
+    /// - [`DiskFault::PartialFlush`]: the record never reaches the disk
+    ///   at all (a crash before flush) — the log simply ends earlier.
+    ///
+    /// All three return `Ok` — the *caller* believed the write succeeded,
+    /// which is exactly the lie a crashing disk tells. Recovery happens
+    /// in [`Wal::open`].
+    ///
+    /// # Errors
+    /// Same as [`append`](Self::append).
+    pub fn append_faulty(&mut self, payload: &[u8], fault: Option<DiskFault>) -> io::Result<()> {
+        if payload.len() as u64 > MAX_RECORD_LEN as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("WAL record of {} bytes exceeds cap", payload.len()),
+            ));
+        }
+        let mut frame = Vec::with_capacity(FRAME_LEN + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        match fault {
+            None => {
+                self.file.write_all(&frame)?;
+                self.file.sync_data()?;
+                self.records += 1;
+            }
+            Some(DiskFault::TornWrite) => {
+                self.file.write_all(&frame[..frame.len() / 2])?;
+                self.file.sync_data()?;
+            }
+            Some(DiskFault::BitFlip) => {
+                let mid = FRAME_LEN + payload.len() / 2;
+                if let Some(b) = frame.get_mut(mid) {
+                    *b ^= 0x01;
+                }
+                self.file.write_all(&frame)?;
+                self.file.sync_data()?;
+            }
+            Some(DiskFault::PartialFlush) => {
+                // The bytes sat in a volatile cache when the power went:
+                // nothing reaches the file.
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush any buffered state (appends already flush; this is for
+    /// callers that want an explicit barrier).
+    ///
+    /// # Errors
+    /// Propagates the underlying `sync_data` error.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    /// Append one record, then read it back and verify the frame — the
+    /// validated-commit primitive: `Ok(true)` means the record is durable
+    /// and intact; `Ok(false)` means the (injected) `fault` damaged or
+    /// lost it, in which case the log has already been repaired back to
+    /// its pre-append state so the caller can refuse the commit and keep
+    /// serving the previous generation.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from the append, read-back, or repair.
+    pub fn append_verified(
+        &mut self,
+        payload: &[u8],
+        fault: Option<DiskFault>,
+    ) -> io::Result<bool> {
+        let start = self.file.seek(SeekFrom::End(0))?;
+        self.append_faulty(payload, fault)?;
+        // Read the frame back from where it should have landed.
+        let intact = (|| -> io::Result<bool> {
+            self.file.seek(SeekFrom::Start(start))?;
+            let mut frame = [0u8; FRAME_LEN];
+            if self.file.read_exact(&mut frame).is_err() {
+                return Ok(false);
+            }
+            let len = u32::from_le_bytes(frame[0..4].try_into().unwrap());
+            let stored_crc = u32::from_le_bytes(frame[4..8].try_into().unwrap());
+            if len as usize != payload.len() {
+                return Ok(false);
+            }
+            let mut got = vec![0u8; len as usize];
+            if self.file.read_exact(&mut got).is_err() {
+                return Ok(false);
+            }
+            Ok(crc32(&got) == stored_crc && got == payload)
+        })()?;
+        if intact && fault.is_some() {
+            // The injected fault turned out harmless (e.g. a flip target
+            // beyond a tiny record): the record is durable after all.
+            self.records += 1;
+        }
+        if !intact {
+            // Repair: truncate the damaged tail so the next append (and
+            // any replay) sees a clean log ending at the last good record.
+            self.file.set_len(start)?;
+            self.file.sync_data()?;
+            if fault.is_none() {
+                // No injected fault yet the read-back mismatched: the
+                // record the caller believes durable is gone. Surface it.
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "WAL read-back verification failed without an injected fault",
+                ));
+            }
+        }
+        self.file.seek(SeekFrom::End(0))?;
+        Ok(intact)
+    }
+}
+
+/// Replay the log at `path` without opening it for appends: every intact
+/// record in order, plus how much damaged tail (if any) follows them.
+/// Read-only — the file is not repaired (use [`Wal::open`] for that).
+///
+/// # Errors
+/// `InvalidData` on a bad header; other I/O errors propagated.
+pub fn replay(path: &Path) -> io::Result<WalReplay> {
+    let mut file = File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut header = [0u8; HEADER_LEN as usize];
+    if file_len < HEADER_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "WAL shorter than its header",
+        ));
+    }
+    file.read_exact(&mut header)?;
+    if &header[..4] != WAL_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a WAL: bad magic",
+        ));
+    }
+    let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    if version != WAL_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported WAL version {version}"),
+        ));
+    }
+    let mut records = Vec::new();
+    let mut valid_len = HEADER_LEN;
+    let mut frame = [0u8; FRAME_LEN];
+    loop {
+        let remaining = file_len - valid_len;
+        if remaining == 0 {
+            break;
+        }
+        if remaining < FRAME_LEN as u64 {
+            // Torn frame header at the tail.
+            break;
+        }
+        file.read_exact(&mut frame)?;
+        let len = u32::from_le_bytes(frame[0..4].try_into().unwrap());
+        let stored_crc = u32::from_le_bytes(frame[4..8].try_into().unwrap());
+        if len > MAX_RECORD_LEN || u64::from(len) > remaining - FRAME_LEN as u64 {
+            // Corrupt or torn length field: everything from here on is
+            // unreadable.
+            break;
+        }
+        let mut payload = vec![0u8; len as usize];
+        file.read_exact(&mut payload)?;
+        if crc32(&payload) != stored_crc {
+            // Bit rot inside this record: it and everything after it are
+            // untrusted (a later record's framing could itself be part of
+            // the damage).
+            break;
+        }
+        valid_len += (FRAME_LEN + payload.len()) as u64;
+        records.push(payload);
+    }
+    Ok(WalReplay {
+        records,
+        valid_len,
+        dropped_bytes: file_len - valid_len,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn scratch(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "amdgcnn-wal-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir.join("log.wal")
+    }
+
+    #[test]
+    fn append_and_replay_round_trips() {
+        let path = scratch("roundtrip");
+        let mut wal = Wal::create(&path).expect("create");
+        wal.append(b"first").expect("append");
+        wal.append(b"").expect("append empty");
+        wal.append(&[0xFFu8; 300]).expect("append large");
+        assert_eq!(wal.records(), 3);
+        let r = replay(&path).expect("replay");
+        assert!(r.clean());
+        assert_eq!(r.records.len(), 3);
+        assert_eq!(r.records[0], b"first");
+        assert!(r.records[1].is_empty());
+        assert_eq!(r.records[2], vec![0xFFu8; 300]);
+    }
+
+    #[test]
+    fn open_resumes_appending_after_replay() {
+        let path = scratch("resume");
+        {
+            let mut wal = Wal::create(&path).expect("create");
+            wal.append(b"one").expect("append");
+        }
+        let (mut wal, r) = Wal::open(&path).expect("open");
+        assert_eq!(r.records.len(), 1);
+        assert_eq!(wal.records(), 1);
+        wal.append(b"two").expect("append");
+        let r = replay(&path).expect("replay");
+        assert_eq!(r.records, vec![b"one".to_vec(), b"two".to_vec()]);
+    }
+
+    #[test]
+    fn torn_write_drops_only_the_tail() {
+        let path = scratch("torn");
+        let mut wal = Wal::create(&path).expect("create");
+        wal.append(b"durable-record").expect("append");
+        wal.append_faulty(b"torn-record", Some(DiskFault::TornWrite))
+            .expect("faulty append reports success");
+        let r = replay(&path).expect("replay");
+        assert_eq!(r.records, vec![b"durable-record".to_vec()]);
+        assert!(!r.clean(), "torn tail must be reported");
+        // Open repairs: the file shrinks back to the valid prefix and a
+        // fresh append lands cleanly after it.
+        let (mut wal, _) = Wal::open(&path).expect("open repairs");
+        wal.append(b"after-repair").expect("append");
+        let r = replay(&path).expect("replay");
+        assert!(r.clean());
+        assert_eq!(
+            r.records,
+            vec![b"durable-record".to_vec(), b"after-repair".to_vec()]
+        );
+    }
+
+    #[test]
+    fn bit_flip_is_caught_by_record_crc() {
+        let path = scratch("flip");
+        let mut wal = Wal::create(&path).expect("create");
+        wal.append(b"good").expect("append");
+        wal.append_faulty(b"rotten-record", Some(DiskFault::BitFlip))
+            .expect("faulty append");
+        wal.append(b"unreachable").expect("append after rot");
+        let r = replay(&path).expect("replay");
+        // The flipped record *and* the good record after it are dropped:
+        // nothing past the first CRC failure is trusted.
+        assert_eq!(r.records, vec![b"good".to_vec()]);
+        assert!(r.dropped_bytes > 0);
+    }
+
+    #[test]
+    fn partial_flush_loses_the_record_cleanly() {
+        let path = scratch("flush");
+        let mut wal = Wal::create(&path).expect("create");
+        wal.append(b"kept").expect("append");
+        wal.append_faulty(b"lost", Some(DiskFault::PartialFlush))
+            .expect("faulty append");
+        let r = replay(&path).expect("replay");
+        assert_eq!(r.records, vec![b"kept".to_vec()]);
+        assert!(r.clean(), "a never-written record leaves no damage");
+    }
+
+    #[test]
+    fn bad_magic_is_invalid_data_not_a_crash() {
+        let path = scratch("magic");
+        std::fs::write(&path, b"NOTAWAL-but-long-enough").expect("write");
+        let err = replay(&path).expect_err("bad magic");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let err = Wal::open(&path).expect_err("open refuses too");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_length_field_ends_replay() {
+        let path = scratch("oversize");
+        {
+            let mut wal = Wal::create(&path).expect("create");
+            wal.append(b"ok").expect("append");
+        }
+        // Hand-append a frame whose length field claims more bytes than
+        // exist (a torn length write).
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        std::fs::write(&path, &bytes).expect("write");
+        let r = replay(&path).expect("replay");
+        assert_eq!(r.records, vec![b"ok".to_vec()]);
+        assert_eq!(r.dropped_bytes, 8);
+    }
+
+    #[test]
+    fn verified_append_detects_and_repairs_every_fault() {
+        let path = scratch("verified");
+        let mut wal = Wal::create(&path).expect("create");
+        assert!(wal.append_verified(b"clean", None).expect("append"));
+        for fault in [
+            DiskFault::TornWrite,
+            DiskFault::BitFlip,
+            DiskFault::PartialFlush,
+        ] {
+            assert!(
+                !wal.append_verified(b"doomed-record", Some(fault))
+                    .expect("verified append"),
+                "{fault:?} must be detected"
+            );
+            // The log is repaired in place: still clean, still appendable.
+            let r = replay(&path).expect("replay");
+            assert!(r.clean(), "{fault:?} left damage behind");
+            assert_eq!(r.records, vec![b"clean".to_vec()]);
+        }
+        assert!(wal.append_verified(b"after", None).expect("append"));
+        let r = replay(&path).expect("replay");
+        assert_eq!(r.records, vec![b"clean".to_vec(), b"after".to_vec()]);
+        assert_eq!(wal.records(), 2);
+    }
+
+    #[test]
+    fn create_truncates_a_previous_log() {
+        let path = scratch("trunc");
+        {
+            let mut wal = Wal::create(&path).expect("create");
+            wal.append(b"old-life").expect("append");
+        }
+        let wal = Wal::create(&path).expect("re-create");
+        assert_eq!(wal.records(), 0);
+        let r = replay(&path).expect("replay");
+        assert!(r.records.is_empty());
+    }
+}
