@@ -62,6 +62,28 @@ pub enum Error {
         /// Human-readable description of the mismatch.
         detail: String,
     },
+    /// A sample store file could not be read or written (plain I/O failure,
+    /// not a verification failure).
+    StoreIo {
+        /// Human-readable description of the failure.
+        detail: String,
+    },
+    /// A sample store failed integrity verification: unreadable header,
+    /// truncated file, or a record whose CRC-32 does not match. Damaged
+    /// records surface as store *misses* (the sample is re-prepared), never
+    /// as garbage samples.
+    StoreCorrupt {
+        /// Human-readable description of what failed verification.
+        detail: String,
+    },
+    /// A sample store exists and is intact but was built for different data
+    /// or configuration (dataset digest, [`crate::FeatureConfig`]
+    /// fingerprint, or graph generation differ). Reusing it would silently
+    /// change prepared samples, so it is refused.
+    StoreMismatch {
+        /// Which fingerprint component diverged, with both values.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -99,6 +121,15 @@ impl std::fmt::Display for Error {
             }
             Error::ResumeMismatch { detail } => {
                 write!(f, "checkpoint does not match this experiment: {detail}")
+            }
+            Error::StoreIo { detail } => {
+                write!(f, "sample store I/O failure: {detail}")
+            }
+            Error::StoreCorrupt { detail } => {
+                write!(f, "sample store failed verification: {detail}")
+            }
+            Error::StoreMismatch { detail } => {
+                write!(f, "sample store belongs to different data: {detail}")
             }
         }
     }

@@ -8,8 +8,10 @@ use crate::fault::FaultInjector;
 use crate::features::FeatureConfig;
 use crate::metrics::{accuracy, argmax_predictions, average_precision, macro_auc};
 use crate::model::{DgcnnModel, GnnKind, ModelConfig};
-use crate::sample::{prepare_batch_obs, PreparedSample};
+use crate::prefetch::{prepare_batch_pipelined, PrefetchConfig};
+use crate::sample::PreparedSample;
 use crate::schedule::LrSchedule;
+use crate::store::{SampleStore, StoreKey};
 use crate::train::{labels_of, predict_probs, TrainConfig, Trainer};
 use amdgcnn_data::Dataset;
 use amdgcnn_obs::Obs;
@@ -87,6 +89,15 @@ pub struct Experiment {
     /// Observability registry threaded into sessions (disabled by
     /// default — spans, counters, and events are then no-ops).
     pub obs: Obs,
+    /// Sample-preparation pipeline settings (serial by default; see
+    /// [`ExperimentBuilder::prefetch`]).
+    pub prefetch: PrefetchConfig,
+    /// Persistent sample-store file (None disables; see
+    /// [`ExperimentBuilder::sample_store`]).
+    pub store: Option<PathBuf>,
+    /// Graph generation baked into the store key (0 for static datasets;
+    /// see [`ExperimentBuilder::graph_generation`]).
+    pub graph_generation: u64,
 }
 
 /// Fluent construction of an [`Experiment`] — the supported way to deviate
@@ -115,6 +126,9 @@ pub struct ExperimentBuilder {
     resume: bool,
     injector: Option<Arc<FaultInjector>>,
     obs: Obs,
+    prefetch: PrefetchConfig,
+    store: Option<PathBuf>,
+    graph_generation: u64,
 }
 
 impl Default for ExperimentBuilder {
@@ -132,6 +146,9 @@ impl Default for ExperimentBuilder {
             resume: false,
             injector: None,
             obs: Obs::disabled(),
+            prefetch: PrefetchConfig::default(),
+            store: None,
+            graph_generation: 0,
         }
     }
 }
@@ -231,6 +248,45 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Prepare samples through the bounded prefetch pipeline with
+    /// `workers` supervised producer threads (0, the default, prepares
+    /// serially in-line). Delivery is reassembled in sample-index order,
+    /// so epoch results are bit-identical to the serial path regardless
+    /// of worker count.
+    pub fn prefetch(mut self, workers: usize) -> Self {
+        self.prefetch.workers = workers;
+        self
+    }
+
+    /// Capacity of the producer→consumer channel (default 8 slots; at
+    /// most `capacity + workers` samples are in flight).
+    pub fn prefetch_capacity(mut self, capacity: usize) -> Self {
+        self.prefetch.capacity = capacity.max(1);
+        self
+    }
+
+    /// Persist tensorized samples to the `AMSS` file at `path` and reuse
+    /// them on later sessions (including [`resume_from`]
+    /// (ExperimentBuilder::resume_from) and tuning trials over the same
+    /// data): a warm store skips k-hop extraction, DRNL labeling, and
+    /// feature construction entirely, bit-identically. The store is keyed
+    /// by dataset digest + [`FeatureConfig`] fingerprint + graph
+    /// generation; a stale store fails the session with
+    /// [`Error::StoreMismatch`] instead of being silently reused.
+    pub fn sample_store(mut self, path: impl Into<PathBuf>) -> Self {
+        self.store = Some(path.into());
+        self
+    }
+
+    /// Graph generation baked into the sample-store key (default 0).
+    /// When training over a live-mutable graph, pass
+    /// `MutableGraph::generation()` here so stores prepared against an
+    /// older graph state are refused.
+    pub fn graph_generation(mut self, generation: u64) -> Self {
+        self.graph_generation = generation;
+        self
+    }
+
     /// Record per-stage spans (sample preparation, k-hop, DRNL,
     /// tensorization, train forward/backward/optimizer, checkpoint I/O,
     /// evaluation) into `obs`. Observation never feeds back into the
@@ -251,6 +307,9 @@ impl ExperimentBuilder {
             resume: self.resume,
             injector: self.injector,
             obs: self.obs,
+            prefetch: self.prefetch,
+            store: self.store,
+            graph_generation: self.graph_generation,
         }
     }
 }
@@ -299,6 +358,11 @@ impl Experiment {
     ///   but none loads cleanly.
     /// - [`Error::ResumeMismatch`] when a checkpoint loads but belongs to a
     ///   different experiment (seed or parameter shapes differ).
+    /// - [`Error::StoreMismatch`] when a configured sample store belongs to
+    ///   different data, features, or graph generation (stale stores are
+    ///   refused, never silently reused); [`Error::StoreCorrupt`] /
+    ///   [`Error::StoreIo`] when its header cannot be verified or the file
+    ///   cannot be read or written.
     pub fn session(&self, ds: &Dataset, train_subset: Option<usize>) -> Result<Session> {
         let fcfg = FeatureConfig::for_graph(ds.graph.num_node_types());
         let cfg = self.model_config(ds, &fcfg);
@@ -315,11 +379,48 @@ impl Experiment {
             Some(n) => &ds.train[..n],
             None => &ds.train[..],
         };
+        // Both splits route through the prefetch pipeline and (when
+        // configured) the persistent sample store — eval samples included,
+        // so a resumed or repeated run re-tensorizes nothing.
+        let mut store = match &self.store {
+            Some(path) => Some(SampleStore::open(
+                path,
+                StoreKey::for_dataset(ds, &fcfg, self.graph_generation),
+            )?),
+            None => None,
+        };
+        let injector = self.injector.as_deref();
+        let train_samples = prepare_batch_pipelined(
+            ds,
+            train_links,
+            &fcfg,
+            &self.obs,
+            self.prefetch,
+            store.as_mut(),
+            injector,
+        );
+        let test_samples = prepare_batch_pipelined(
+            ds,
+            &ds.test,
+            &fcfg,
+            &self.obs,
+            self.prefetch,
+            store.as_mut(),
+            injector,
+        );
+        if let Some(store) = store.as_mut() {
+            if store.is_dirty() {
+                let flush_span = self.obs.span("pipeline/prefetch/store_flush");
+                let fault = injector.and_then(|inj| inj.next_disk_fault());
+                store.flush(fault)?;
+                flush_span.finish();
+            }
+        }
         let mut session = Session {
             model,
             ps,
-            train_samples: prepare_batch_obs(ds, train_links, &fcfg, &self.obs),
-            test_samples: prepare_batch_obs(ds, &ds.test, &fcfg, &self.obs),
+            train_samples,
+            test_samples,
             trainer: Trainer::new(self.train)
                 .with_schedule(self.schedule)
                 .with_obs(self.obs.clone()),

@@ -1,0 +1,343 @@
+//! Bounded prefetch pipeline for sample preparation.
+//!
+//! A pool of producer threads prepares enclosing-subgraph samples and
+//! feeds them through a fixed-capacity channel to a consumer that
+//! reassembles them **in sample-index order**. Because preparation is a
+//! pure function of `(dataset, link, FeatureConfig)` and delivery is keyed
+//! by index, the pipelined output is bit-identical to the serial path
+//! regardless of worker count, channel capacity, or scheduling — the
+//! repo's signature guarantee, proptested in
+//! `crates/core/tests/prefetch_determinism.rs`.
+//!
+//! The pool is supervised: a worker that panics mid-sample (injectable via
+//! [`FaultPlan::prefetch_panic_samples`](crate::fault::FaultPlan)) dies
+//! after requeueing its claimed index through a `Died` message; the
+//! consumer respawns a replacement, and the retried sample lands in its
+//! slot as if nothing happened.
+//!
+//! Note on rayon: this workspace's offline `rayon` stand-in runs
+//! sequentially, so the producer pool is built on `std::thread` scoped
+//! threads plus a bounded `std::sync::mpsc` channel — real overlap with
+//! real threads, while determinism comes from ordered reassembly rather
+//! than execution order.
+//!
+//! When a [`SampleStore`] is attached, each worker first consults the
+//! store (a *hit* decodes the persisted record instead of running k-hop /
+//! DRNL / tensorize) and every miss is inserted after the batch completes,
+//! so the next run over the same data is warm. Hits and misses are
+//! recorded on the `pipeline/prefetch/store_hit` / `store_miss` counters;
+//! production and consumer-wait time land in `pipeline/prefetch/produce`
+//! and `pipeline/prefetch/wait`.
+
+use crate::fault::FaultInjector;
+use crate::features::FeatureConfig;
+use crate::sample::{prepare_sample_obs, PreparedSample, SampleTimers};
+use crate::store::SampleStore;
+use amdgcnn_data::{Dataset, LabeledLink};
+use amdgcnn_obs::{Obs, Timer};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::Mutex;
+
+/// Prefetch-pipeline settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchConfig {
+    /// Producer threads. `0` (the default) runs the serial in-line path;
+    /// `n >= 1` spawns `n` supervised workers. Results are bit-identical
+    /// either way.
+    pub workers: usize,
+    /// Channel slots between producers and the consumer (clamped to at
+    /// least 1). Bounds memory: at most `capacity + workers` samples are
+    /// in flight.
+    pub capacity: usize,
+}
+
+impl Default for PrefetchConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            capacity: 8,
+        }
+    }
+}
+
+/// What a producer hands the consumer.
+enum Produced {
+    /// One prepared (or store-decoded) sample, keyed by its index.
+    Sample {
+        idx: usize,
+        hit: bool,
+        sample: Box<PreparedSample>,
+    },
+    /// The worker panicked while holding `idx` and is about to exit; the
+    /// consumer requeues the index and respawns a replacement.
+    Died { idx: usize },
+}
+
+/// Everything a worker thread needs, shared by reference across the pool.
+struct WorkerCtx<'a> {
+    ds: &'a Dataset,
+    links: &'a [LabeledLink],
+    fcfg: &'a FeatureConfig,
+    timers: &'a SampleTimers,
+    produce: &'a Timer,
+    store: Option<&'a SampleStore>,
+    injector: Option<&'a FaultInjector>,
+    queue: &'a Mutex<VecDeque<usize>>,
+}
+
+fn produce_one(ctx: &WorkerCtx<'_>, idx: usize) -> Produced {
+    if let Some(inj) = ctx.injector {
+        if inj.prefetch_panic(idx) {
+            panic!("injected prefetch worker panic at sample {idx}");
+        }
+    }
+    let _t = ctx.produce.start();
+    let link = &ctx.links[idx];
+    if let Some(store) = ctx.store {
+        if let Some(sample) = store.get(ctx.ds, link) {
+            return Produced::Sample {
+                idx,
+                hit: true,
+                sample: Box::new(sample),
+            };
+        }
+    }
+    let sample = prepare_sample_obs(ctx.ds, link, ctx.fcfg, ctx.timers);
+    Produced::Sample {
+        idx,
+        hit: false,
+        sample: Box::new(sample),
+    }
+}
+
+fn worker_loop(ctx: &WorkerCtx<'_>, tx: SyncSender<Produced>) {
+    loop {
+        let idx = ctx
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front();
+        let Some(idx) = idx else { return };
+        match catch_unwind(AssertUnwindSafe(|| produce_one(ctx, idx))) {
+            Ok(msg) => {
+                if tx.send(msg).is_err() {
+                    return;
+                }
+            }
+            Err(_) => {
+                // Report the orphaned index and die; the supervisor
+                // requeues it and respawns.
+                let _ = tx.send(Produced::Died { idx });
+                return;
+            }
+        }
+    }
+}
+
+/// Prepare `links` through the bounded prefetch pipeline, optionally
+/// reading from / warming a [`SampleStore`]. Output order matches `links`
+/// and every sample is bit-identical to
+/// [`crate::sample::prepare_batch_obs`]'s serial result.
+///
+/// Store misses are inserted into the store (caller flushes); the
+/// `injector` supplies deterministic worker panics for supervision tests.
+pub fn prepare_batch_pipelined(
+    ds: &Dataset,
+    links: &[LabeledLink],
+    fcfg: &FeatureConfig,
+    obs: &Obs,
+    cfg: PrefetchConfig,
+    mut store: Option<&mut SampleStore>,
+    injector: Option<&FaultInjector>,
+) -> Vec<PreparedSample> {
+    let n = links.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let timers = SampleTimers::new(obs);
+    let produce = obs.timer("pipeline/prefetch/produce");
+    let wait = obs.timer("pipeline/prefetch/wait");
+    let hit_counter = obs.counter("pipeline/prefetch/store_hit");
+    let miss_counter = obs.counter("pipeline/prefetch/store_miss");
+    let respawn_counter = obs.counter("pipeline/prefetch/respawn");
+
+    let (slots, mut miss_idx) = {
+        let store_ro: Option<&SampleStore> = store.as_deref();
+        if cfg.workers == 0 {
+            // Serial in-line path: same store consultation, no threads.
+            let mut slots: Vec<Option<PreparedSample>> = Vec::with_capacity(n);
+            let mut miss_idx = Vec::new();
+            for (idx, link) in links.iter().enumerate() {
+                let _t = produce.start();
+                let sample = match store_ro.and_then(|s| s.get(ds, link)) {
+                    Some(sample) => {
+                        hit_counter.inc();
+                        sample
+                    }
+                    None => {
+                        if store_ro.is_some() {
+                            miss_counter.inc();
+                        }
+                        miss_idx.push(idx);
+                        prepare_sample_obs(ds, link, fcfg, &timers)
+                    }
+                };
+                slots.push(Some(sample));
+            }
+            (slots, miss_idx)
+        } else {
+            let queue = Mutex::new((0..n).collect::<VecDeque<usize>>());
+            let ctx = WorkerCtx {
+                ds,
+                links,
+                fcfg,
+                timers: &timers,
+                produce: &produce,
+                store: store_ro,
+                injector,
+                queue: &queue,
+            };
+            let mut slots: Vec<Option<PreparedSample>> = (0..n).map(|_| None).collect();
+            let mut miss_idx = Vec::new();
+            std::thread::scope(|s| {
+                let (tx, rx) = sync_channel::<Produced>(cfg.capacity.max(1));
+                let ctx = &ctx;
+                for _ in 0..cfg.workers {
+                    let tx = tx.clone();
+                    s.spawn(move || worker_loop(ctx, tx));
+                }
+                let mut received = 0usize;
+                while received < n {
+                    let wait_span = wait.start();
+                    let msg = rx.recv().expect("prefetch pool disconnected early");
+                    wait_span.finish();
+                    match msg {
+                        Produced::Sample { idx, hit, sample } => {
+                            debug_assert!(slots[idx].is_none(), "sample {idx} delivered twice");
+                            slots[idx] = Some(*sample);
+                            if hit {
+                                hit_counter.inc();
+                            } else {
+                                if ctx.store.is_some() {
+                                    miss_counter.inc();
+                                }
+                                miss_idx.push(idx);
+                            }
+                            received += 1;
+                        }
+                        Produced::Died { idx } => {
+                            // Supervisor: give the orphaned index back to
+                            // the pool and replace the dead worker. The
+                            // retry is clean (injected panics fire once),
+                            // so the epoch stays bit-identical.
+                            ctx.queue
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .push_front(idx);
+                            respawn_counter.inc();
+                            obs.event("pipeline/prefetch/respawn", || {
+                                format!("worker died at sample {idx}; respawned")
+                            });
+                            let tx = tx.clone();
+                            s.spawn(move || worker_loop(ctx, tx));
+                        }
+                    }
+                }
+            });
+            (slots, miss_idx)
+        }
+    };
+
+    // Warm the store with everything it did not already hold. Indices are
+    // sorted so insertion order (and hence any store bookkeeping) is
+    // independent of thread scheduling.
+    if let Some(store) = store.as_deref_mut() {
+        miss_idx.sort_unstable();
+        for &idx in &miss_idx {
+            let sample = slots[idx].as_ref().expect("miss index was delivered");
+            store.insert(&links[idx], sample);
+        }
+    }
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index delivered"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultInjector, FaultPlan};
+    use crate::sample::prepare_batch;
+    use amdgcnn_data::{wn18_like, Wn18Config};
+    use std::sync::Arc;
+
+    fn batches_equal(a: &[PreparedSample], b: &[PreparedSample]) -> bool {
+        a.len() == b.len()
+            && a.iter().zip(b).all(|(x, y)| {
+                x.features == y.features
+                    && x.label == y.label
+                    && x.drnl == y.drnl
+                    && x.edges == y.edges
+                    && x.graph.csr().src_ids() == y.graph.csr().src_ids()
+                    && x.graph.csr().dst_ids() == y.graph.csr().dst_ids()
+                    && x.graph.relations() == y.graph.relations()
+            })
+    }
+
+    #[test]
+    fn pipelined_matches_serial_for_every_worker_count() {
+        let ds = wn18_like(&Wn18Config::tiny());
+        let fcfg = FeatureConfig::for_graph(ds.graph.num_node_types());
+        let links = &ds.train[..12];
+        let serial = prepare_batch(&ds, links, &fcfg);
+        for workers in [0, 1, 2, 4, 8] {
+            for capacity in [1, 3, 16] {
+                let cfg = PrefetchConfig { workers, capacity };
+                let piped = prepare_batch_pipelined(
+                    &ds,
+                    links,
+                    &fcfg,
+                    &Obs::disabled(),
+                    cfg,
+                    None,
+                    None,
+                );
+                assert!(
+                    batches_equal(&piped, &serial),
+                    "workers={workers} capacity={capacity} diverged from serial"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn injected_worker_panic_is_survived_and_counted() {
+        let ds = wn18_like(&Wn18Config::tiny());
+        let fcfg = FeatureConfig::for_graph(ds.graph.num_node_types());
+        let links = &ds.train[..10];
+        let serial = prepare_batch(&ds, links, &fcfg);
+        let injector = Arc::new(FaultInjector::new(FaultPlan {
+            prefetch_panic_samples: vec![0, 4, 9],
+            ..FaultPlan::default()
+        }));
+        let obs = Obs::enabled();
+        let piped = prepare_batch_pipelined(
+            &ds,
+            links,
+            &fcfg,
+            &obs,
+            PrefetchConfig {
+                workers: 3,
+                capacity: 2,
+            },
+            None,
+            Some(&injector),
+        );
+        assert!(batches_equal(&piped, &serial), "panic respawn changed output");
+        assert_eq!(obs.counter("pipeline/prefetch/respawn").get(), 3);
+    }
+}

@@ -79,21 +79,7 @@ pub fn prepare_sample_obs(
     drnl_span.finish();
     let _tensorize = timers.tensorize.start();
     let features = build_node_features(&sub, fcfg);
-    let typed: Vec<(usize, usize, u16)> = sub
-        .edges
-        .iter()
-        .map(|e| (e.u as usize, e.v as usize, e.etype))
-        .collect();
-    let per_edge = (ds.edge_attrs.dim() > 0).then(|| {
-        let mut per_edge = Matrix::zeros(sub.edges.len(), ds.edge_attrs.dim());
-        for (i, e) in sub.edges.iter().enumerate() {
-            per_edge
-                .row_mut(i)
-                .copy_from_slice(ds.edge_attrs.row(e.etype));
-        }
-        per_edge
-    });
-    let graph = MessageGraph::from_typed(sub.num_nodes(), &typed, per_edge.as_ref());
+    let graph = message_graph_for(ds, sub.num_nodes(), &sub.edges);
     PreparedSample {
         features,
         graph,
@@ -103,6 +89,64 @@ pub fn prepare_sample_obs(
         edges: sub.edges.clone(),
         drnl: sub.drnl.clone(),
     }
+}
+
+/// Build the unified message-passing operand for a subgraph's induced
+/// edges, expanding per-type edge attributes from the dataset's table.
+///
+/// Both [`prepare_sample_obs`] and the sample store's decode path
+/// ([`crate::store::SampleStore`]) go through this function, so a stored
+/// sample is rebuilt by the exact code that built it — bit-identical by
+/// construction ([`MessageGraph::from_typed`] is deterministic).
+pub fn message_graph_for(ds: &Dataset, num_nodes: usize, edges: &[LocalEdge]) -> MessageGraph {
+    let typed = typed_edges(edges);
+    let per_edge = per_edge_attrs(ds, edges);
+    MessageGraph::from_typed(num_nodes, &typed, per_edge.as_ref())
+}
+
+/// Rebuild the message-passing operand from a persisted, already-sorted
+/// message list — the sample store's warm-decode path. The topology sort
+/// that dominates [`message_graph_for`] is skipped (the store captured
+/// its output), leaving only linear counting sorts and copies; the result
+/// is bit-identical to the built graph because `messages` *is* its
+/// message list ([`MessageGraph::from_message_list`]).
+///
+/// # Panics
+/// Panics on messages inconsistent with `edges`/`num_nodes` — callers
+/// deserializing from disk must validate first. `pairs` holds one
+/// `(src, dst)` per message grouped by non-decreasing `dst`; `orig` the
+/// originating edge index per message (`u32::MAX` for self-loops).
+pub fn message_graph_from_messages(
+    ds: &Dataset,
+    num_nodes: usize,
+    edges: &[LocalEdge],
+    pairs: &[(u32, u32)],
+    orig: &[u32],
+) -> MessageGraph {
+    let typed = typed_edges(edges);
+    let per_edge = per_edge_attrs(ds, edges);
+    MessageGraph::from_message_list(num_nodes, &typed, pairs, orig, per_edge.as_ref())
+}
+
+fn typed_edges(edges: &[LocalEdge]) -> Vec<(usize, usize, u16)> {
+    edges
+        .iter()
+        .map(|e| (e.u as usize, e.v as usize, e.etype))
+        .collect()
+}
+
+/// Expand the dataset's per-type edge-attribute table to one row per
+/// induced edge (`None` when the dataset carries no attributes).
+fn per_edge_attrs(ds: &Dataset, edges: &[LocalEdge]) -> Option<Matrix> {
+    (ds.edge_attrs.dim() > 0).then(|| {
+        let mut per_edge = Matrix::zeros(edges.len(), ds.edge_attrs.dim());
+        for (i, e) in edges.iter().enumerate() {
+            per_edge
+                .row_mut(i)
+                .copy_from_slice(ds.edge_attrs.row(e.etype));
+        }
+        per_edge
+    })
 }
 
 /// Prepare a batch of links in parallel (order preserved).

@@ -1,0 +1,290 @@
+//! The prefetch pipeline's signature guarantee, proptested end to end:
+//! pipelined sample preparation is **bit-identical** to the serial path
+//! regardless of worker count, channel capacity, dataset shape, or
+//! feature configuration — and stays bit-identical when workers are
+//! killed mid-sample by injected panics (the supervisor respawns them and
+//! the orphaned sample is retried into its slot).
+//!
+//! Losses and probabilities are pinned transitively: training is
+//! deterministic given identical prepared samples, so equal parameter
+//! digests + equal prediction matrices + equal eval metrics witness that
+//! every intermediate loss was equal too.
+
+use am_dgcnn::{
+    predict_probs, prepare_batch, prepare_batch_pipelined, Experiment, ExperimentBuilder,
+    FaultInjector, FaultPlan, FeatureConfig, GnnKind, Hyperparams, PrefetchConfig, PreparedSample,
+    Session,
+};
+use am_dgcnn::obs::Obs;
+use amdgcnn_data::{wn18_like, Dataset, Wn18Config};
+use amdgcnn_tensor::io::params_digest;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const SEED: u64 = 17;
+const EPOCHS: usize = 2;
+const TRAIN_SUBSET: usize = 16;
+
+/// Worker counts the pipeline is sworn to be order-independent across.
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn builder(seed: u64) -> ExperimentBuilder {
+    Experiment::builder()
+        .gnn(GnnKind::am_dgcnn())
+        .hyper(Hyperparams {
+            lr: 5e-3,
+            hidden_dim: 8,
+            sort_k: 10,
+        })
+        .seed(seed)
+}
+
+fn samples_equal(a: &PreparedSample, b: &PreparedSample) -> bool {
+    a.features == b.features
+        && a.label == b.label
+        && a.num_nodes == b.num_nodes
+        && a.num_edges == b.num_edges
+        && a.edges == b.edges
+        && a.drnl == b.drnl
+        && a.graph.csr().src_ids() == b.graph.csr().src_ids()
+        && a.graph.csr().dst_ids() == b.graph.csr().dst_ids()
+        && a.graph.relations() == b.graph.relations()
+        && a.graph.edge_attrs().map(|m| m.data()) == b.graph.edge_attrs().map(|m| m.data())
+}
+
+fn batches_equal(a: &[PreparedSample], b: &[PreparedSample]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| samples_equal(x, y))
+}
+
+/// Train a session in place and distill it into the three bit-identity
+/// witnesses: parameter digest, prediction matrix, eval metrics.
+fn train_and_fingerprint(mut session: Session) -> (u32, amdgcnn_tensor::Matrix, f64) {
+    session
+        .trainer
+        .train(
+            &session.model,
+            &mut session.ps,
+            &session.train_samples,
+            EPOCHS,
+        )
+        .expect("train");
+    let digest = params_digest(&session.ps);
+    let probs = predict_probs(&session.model, &session.ps, &session.test_samples);
+    let metrics = session.evaluate();
+    (digest, probs, metrics.auc + metrics.ap + metrics.accuracy)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Batch-level bit-identity across randomized dataset shapes, feature
+    /// configurations, worker counts, and channel capacities.
+    #[test]
+    fn pipelined_batch_is_bit_identical_to_serial(
+        ds_seed in 0u64..4,
+        batch in 4usize..24,
+        drnl_idx in 0usize..3,
+        worker_idx in 0usize..4,
+        capacity in 1usize..9,
+    ) {
+        let max_drnl = [4u32, 8, 16][drnl_idx];
+        let ds = wn18_like(&Wn18Config {
+            seed: ds_seed,
+            ..Wn18Config::tiny()
+        });
+        let fcfg = FeatureConfig {
+            max_drnl,
+            ..FeatureConfig::for_graph(ds.graph.num_node_types())
+        };
+        let links = &ds.train[..batch.min(ds.train.len())];
+        let serial = prepare_batch(&ds, links, &fcfg);
+        let cfg = PrefetchConfig {
+            workers: WORKER_COUNTS[worker_idx],
+            capacity,
+        };
+        let piped =
+            prepare_batch_pipelined(&ds, links, &fcfg, &Obs::disabled(), cfg, None, None);
+        prop_assert!(
+            batches_equal(&piped, &serial),
+            "workers={} capacity={} ds_seed={} diverged from serial",
+            cfg.workers,
+            capacity,
+            ds_seed
+        );
+    }
+
+    /// A worker killed mid-sample by an injected panic is respawned by the
+    /// supervisor and the epoch's batch is still bit-identical: the
+    /// orphaned index is requeued and retried cleanly.
+    #[test]
+    fn worker_panic_respawn_keeps_batch_bit_identical(
+        panic_at in proptest::collection::vec(0usize..TRAIN_SUBSET, 1..4),
+        worker_idx in 0usize..4,
+        capacity in 1usize..5,
+    ) {
+        let panic_at: std::collections::BTreeSet<usize> = panic_at.into_iter().collect();
+        let ds = wn18_like(&Wn18Config::tiny());
+        let fcfg = FeatureConfig::for_graph(ds.graph.num_node_types());
+        let links = &ds.train[..TRAIN_SUBSET];
+        let serial = prepare_batch(&ds, links, &fcfg);
+        let panics: Vec<usize> = panic_at.iter().copied().collect();
+        let injector = FaultInjector::new(FaultPlan {
+            prefetch_panic_samples: panics.clone(),
+            ..FaultPlan::default()
+        });
+        let obs = Obs::enabled();
+        let cfg = PrefetchConfig {
+            workers: WORKER_COUNTS[worker_idx],
+            capacity,
+        };
+        let piped = prepare_batch_pipelined(
+            &ds,
+            links,
+            &fcfg,
+            &obs,
+            cfg,
+            None,
+            Some(&injector),
+        );
+        prop_assert!(
+            batches_equal(&piped, &serial),
+            "workers={} panics={:?}: respawned batch diverged",
+            cfg.workers,
+            panics
+        );
+        prop_assert_eq!(
+            obs.counter("pipeline/prefetch/respawn").get(),
+            panics.len() as u64,
+            "every injected panic must be survived by exactly one respawn"
+        );
+    }
+}
+
+/// Experiment-level bit-identity: a full train + eval through
+/// `.prefetch(n)` produces the same parameter trajectory (hence the same
+/// losses), the same prediction matrix, and the same metrics as the
+/// serial default — for every worker count and a spread of capacities.
+#[test]
+fn prefetched_training_is_bit_identical_to_serial() {
+    let ds = wn18_like(&Wn18Config::tiny());
+    let serial = builder(SEED).build();
+    let (ref_digest, ref_probs, ref_metrics) = train_and_fingerprint(
+        serial
+            .session(&ds, Some(TRAIN_SUBSET))
+            .expect("serial session"),
+    );
+    for workers in WORKER_COUNTS {
+        for capacity in [1, 4] {
+            let exp = builder(SEED)
+                .prefetch(workers)
+                .prefetch_capacity(capacity)
+                .build();
+            let (digest, probs, metrics) = train_and_fingerprint(
+                exp.session(&ds, Some(TRAIN_SUBSET))
+                    .expect("pipelined session"),
+            );
+            assert_eq!(
+                digest, ref_digest,
+                "workers={workers} capacity={capacity}: parameter trajectory diverged"
+            );
+            assert_eq!(
+                probs, ref_probs,
+                "workers={workers} capacity={capacity}: predictions diverged"
+            );
+            assert_eq!(
+                metrics, ref_metrics,
+                "workers={workers} capacity={capacity}: metrics diverged"
+            );
+        }
+    }
+}
+
+/// Injected worker panics during session preparation leave the trained
+/// epoch bit-identical to a serial run that never saw a fault, and the
+/// supervisor's respawn count is visible on the obs registry.
+#[test]
+fn session_with_worker_panics_trains_bit_identical() {
+    let ds = wn18_like(&Wn18Config::tiny());
+    let (ref_digest, ref_probs, ref_metrics) = train_and_fingerprint(
+        builder(SEED)
+            .build()
+            .session(&ds, Some(TRAIN_SUBSET))
+            .expect("serial session"),
+    );
+    let obs = Obs::enabled();
+    let exp = builder(SEED)
+        .prefetch(3)
+        .prefetch_capacity(2)
+        .fault_injector(Arc::new(FaultInjector::new(FaultPlan {
+            prefetch_panic_samples: vec![0, 5, 11],
+            ..FaultPlan::default()
+        })))
+        .observe(obs.clone())
+        .build();
+    let (digest, probs, metrics) = train_and_fingerprint(
+        exp.session(&ds, Some(TRAIN_SUBSET))
+            .expect("faulted session"),
+    );
+    assert_eq!(digest, ref_digest, "panics changed the parameter trajectory");
+    assert_eq!(probs, ref_probs, "panics changed the predictions");
+    assert_eq!(metrics, ref_metrics, "panics changed the metrics");
+    assert_eq!(obs.counter("pipeline/prefetch/respawn").get(), 3);
+}
+
+/// The pipeline reports its work: produce time and store counters land on
+/// the obs registry without perturbing results (observation never feeds
+/// back into the computation).
+#[test]
+fn obs_spans_record_pipeline_work_without_perturbing_results() {
+    let ds = wn18_like(&Wn18Config::tiny());
+    let fcfg = FeatureConfig::for_graph(ds.graph.num_node_types());
+    let links = &ds.train[..8];
+    let quiet =
+        prepare_batch_pipelined(&ds, links, &fcfg, &Obs::disabled(), PrefetchConfig {
+            workers: 2,
+            capacity: 2,
+        }, None, None);
+    let obs = Obs::enabled();
+    let observed = prepare_batch_pipelined(&ds, links, &fcfg, &obs, PrefetchConfig {
+        workers: 2,
+        capacity: 2,
+    }, None, None);
+    assert!(batches_equal(&quiet, &observed), "observation changed results");
+    assert_eq!(
+        obs.timer("pipeline/prefetch/produce").snapshot().count,
+        links.len() as u64,
+        "every sample's production must be timed"
+    );
+    // No store attached: the hit/miss counters stay untouched.
+    assert_eq!(obs.counter("pipeline/prefetch/store_hit").get(), 0);
+    assert_eq!(obs.counter("pipeline/prefetch/store_miss").get(), 0);
+}
+
+/// Guard against accidental reliance on dataset-global state: two
+/// different datasets pipelined with the same config stay independent
+/// (each matches its own serial reference).
+#[test]
+fn distinct_datasets_stay_independent_under_pipelining() {
+    for seed in [1u64, 2] {
+        let ds: Dataset = wn18_like(&Wn18Config {
+            seed,
+            ..Wn18Config::tiny()
+        });
+        let fcfg = FeatureConfig::for_graph(ds.graph.num_node_types());
+        let links = &ds.train[..10];
+        let serial = prepare_batch(&ds, links, &fcfg);
+        let piped = prepare_batch_pipelined(
+            &ds,
+            links,
+            &fcfg,
+            &Obs::disabled(),
+            PrefetchConfig {
+                workers: 4,
+                capacity: 2,
+            },
+            None,
+            None,
+        );
+        assert!(batches_equal(&piped, &serial), "seed {seed} diverged");
+    }
+}

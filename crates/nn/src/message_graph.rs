@@ -144,6 +144,85 @@ impl MessageGraph {
         }
     }
 
+    /// Rebuild from an already-sorted message list — the exact output of
+    /// [`MessageGraph::from_typed`]'s sort, as captured by
+    /// `csr().src_ids()` / `dst_ids()` / [`MessageGraph::orig_edge`].
+    /// Everything here is a counting sort or a linear copy — no re-sort —
+    /// which is what makes decoding a persisted sample substantially
+    /// cheaper than re-tensorizing it.
+    ///
+    /// `pairs` are `(src, dst)` per message, grouped by non-decreasing
+    /// `dst`; `orig` is the originating undirected edge per message, with
+    /// `u32::MAX` marking a self-loop message. Relations and expanded
+    /// per-message attributes are rederived from `edges` /
+    /// `per_edge_attrs`, so the result is bit-identical to
+    /// `from_typed(num_nodes, edges, per_edge_attrs)` whenever the message
+    /// list was captured from it.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints, decreasing destinations, a
+    /// `pairs`/`orig` length mismatch, or an `orig` index past `edges` —
+    /// callers deserializing untrusted bytes must validate first (the
+    /// sample store CRC-guards records and still pre-validates before
+    /// calling this).
+    pub fn from_message_list(
+        num_nodes: usize,
+        edges: &[(usize, usize, u16)],
+        pairs: &[(u32, u32)],
+        orig: &[u32],
+        per_edge_attrs: Option<&Matrix>,
+    ) -> Self {
+        if let Some(ea) = per_edge_attrs {
+            assert_eq!(
+                ea.rows(),
+                edges.len(),
+                "edge attribute rows must match edge count"
+            );
+        }
+        assert_eq!(pairs.len(), orig.len(), "one origin per message");
+        let csr = Arc::new(CsrGraph::from_messages(num_nodes, pairs));
+        let segments = Arc::new(csr.dst_segments());
+        let mut orig_edge: Vec<Option<usize>> = Vec::with_capacity(orig.len());
+        let mut rel: Vec<Option<u16>> = Vec::with_capacity(orig.len());
+        for &e in orig {
+            if e == u32::MAX {
+                orig_edge.push(None);
+                rel.push(None);
+            } else {
+                assert!(
+                    (e as usize) < edges.len(),
+                    "message origin {e} out of range for {} edges",
+                    edges.len()
+                );
+                orig_edge.push(Some(e as usize));
+                rel.push(Some(edges[e as usize].2));
+            }
+        }
+        let edge_attrs = match per_edge_attrs {
+            Some(ea) => {
+                let mut out = Matrix::zeros(orig.len(), ea.cols());
+                for (m, o) in orig_edge.iter().enumerate() {
+                    if let Some(e) = *o {
+                        out.row_mut(m).copy_from_slice(ea.row(e));
+                    }
+                }
+                EdgeAttrSource::Ready(Arc::new(out))
+            }
+            None => EdgeAttrSource::None,
+        };
+        Self {
+            num_nodes,
+            num_edges: edges.len(),
+            csr,
+            segments,
+            orig_edge: Arc::new(orig_edge),
+            rel: Arc::new(rel),
+            edge_attrs,
+            gcn_w: OnceLock::new(),
+            rel_w: OnceLock::new(),
+        }
+    }
+
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
         self.num_nodes
@@ -553,6 +632,45 @@ mod tests {
         assert_eq!(w[packed.msg_range(1)][0], 1.0);
         // Parts contribute 0, 2, and 4 messages respectively.
         assert_eq!(packed.graph.num_messages(), 2 + 4);
+    }
+
+    #[test]
+    fn from_message_list_is_bit_identical_to_from_typed() {
+        // Mixed shape: a self-loop edge, a repeated pair, typed relations,
+        // and per-edge attributes — everything the sort has to order.
+        let edges = [(0usize, 1usize, 2u16), (1, 2, 0), (2, 2, 1), (0, 1, 1)];
+        let attrs = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f32 * 0.25 - 1.0);
+        let built = MessageGraph::from_typed(4, &edges, Some(&attrs));
+
+        // Capture exactly what the store persists per message.
+        let pairs: Vec<(u32, u32)> = (0..built.num_messages())
+            .map(|m| (built.csr().src_ids()[m], built.csr().dst_ids()[m]))
+            .collect();
+        let orig: Vec<u32> = built
+            .orig_edge()
+            .iter()
+            .map(|o| o.map_or(u32::MAX, |e| e as u32))
+            .collect();
+        let rebuilt = MessageGraph::from_message_list(4, &edges, &pairs, &orig, Some(&attrs));
+
+        assert_eq!(rebuilt.num_nodes(), built.num_nodes());
+        assert_eq!(rebuilt.num_edges(), built.num_edges());
+        assert_eq!(rebuilt.csr().src_ids(), built.csr().src_ids());
+        assert_eq!(rebuilt.csr().dst_ids(), built.csr().dst_ids());
+        assert_eq!(rebuilt.orig_edge(), built.orig_edge());
+        assert_eq!(rebuilt.relations(), built.relations());
+        assert_eq!(&*rebuilt.segments(), &*built.segments());
+        assert_eq!(
+            rebuilt.edge_attrs().map(|a| a.data()),
+            built.edge_attrs().map(|a| a.data())
+        );
+        assert_eq!(&*rebuilt.gcn_weights(), &*built.gcn_weights());
+        let (rw_a, rw_b) = (rebuilt.relation_weights(), built.relation_weights());
+        assert_eq!(rw_a.len(), rw_b.len());
+        for ((ra, wa), (rb, wb)) in rw_a.iter().zip(rw_b.iter()) {
+            assert_eq!(ra, rb);
+            assert_eq!(&**wa, &**wb);
+        }
     }
 
     #[test]

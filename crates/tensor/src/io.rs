@@ -52,11 +52,7 @@ pub fn save_params<W: Write>(ps: &ParamStore, w: W) -> io::Result<()> {
         let name = ps.name(id).as_bytes();
         w.write_all(&(name.len() as u32).to_le_bytes())?;
         w.write_all(name)?;
-        w.write_all(&(value.rows() as u32).to_le_bytes())?;
-        w.write_all(&(value.cols() as u32).to_le_bytes())?;
-        for &v in value.data() {
-            w.write_all(&v.to_le_bytes())?;
-        }
+        write_matrix(&mut w, value)?;
         let section = w.section_crc();
         w.write_unchecked(&section.to_le_bytes())?;
     }
@@ -118,27 +114,7 @@ pub fn load_params<R: Read>(r: R) -> io::Result<ParamStore> {
         let mut name = vec![0u8; name_len];
         read_exact_checked(&mut r, &mut name, "parameter name")?;
         let name = String::from_utf8(name).map_err(|_| invalid("non-utf8 name"))?;
-        let rows = read_u32(&mut r, "rows")? as usize;
-        let cols = read_u32(&mut r, "cols")? as usize;
-        let total = rows.saturating_mul(cols);
-        if total > MAX_ELEMS {
-            return Err(invalid(format!(
-                "implausible tensor size {rows}x{cols} for {name}"
-            )));
-        }
-        let mut data: Vec<f32> = Vec::new();
-        let mut byte_buf = vec![0u8; READ_CHUNK_ELEMS * 4];
-        let mut remaining = total;
-        while remaining > 0 {
-            let n = remaining.min(READ_CHUNK_ELEMS);
-            read_exact_checked(&mut r, &mut byte_buf[..n * 4], "tensor data")?;
-            data.extend(
-                byte_buf[..n * 4]
-                    .chunks_exact(4)
-                    .map(|b| f32::from_le_bytes(b.try_into().expect("4-byte chunk"))),
-            );
-            remaining -= n;
-        }
+        let value = read_matrix(&mut r, &name)?;
         if checksummed {
             let expect = r.section_crc();
             let stored = read_crc(&mut r, "record checksum")?;
@@ -149,7 +125,7 @@ pub fn load_params<R: Read>(r: R) -> io::Result<ParamStore> {
                 )));
             }
         }
-        ps.register(name, Matrix::from_vec(rows, cols, data));
+        ps.register(name, value);
     }
     if checksummed {
         let expect = r.total_crc();
@@ -198,6 +174,50 @@ pub fn restore_into(target: &mut ParamStore, loaded: &ParamStore) -> io::Result<
         target.set(id, (**value).clone());
     }
     Ok(())
+}
+
+/// Serialize one matrix as `u32 rows | u32 cols | f32 LE data...` — the
+/// element layout every AM* container format shares (parameter checkpoints,
+/// training-state snapshots, the sample store).
+pub fn write_matrix<W: Write>(w: &mut W, m: &Matrix) -> io::Result<()> {
+    w.write_all(&(m.rows() as u32).to_le_bytes())?;
+    w.write_all(&(m.cols() as u32).to_le_bytes())?;
+    for &v in m.data() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Deserialize a matrix written by [`write_matrix`]. The declared shape is
+/// untrusted: sizes above an internal ceiling are rejected and data is read
+/// in bounded chunks, so a corrupt header can never drive a huge
+/// allocation. `what` names the tensor in error messages.
+pub fn read_matrix<R: Read>(r: &mut R, what: &str) -> io::Result<Matrix> {
+    let rows = read_u32(r, "rows")? as usize;
+    let cols = read_u32(r, "cols")? as usize;
+    let total = rows.saturating_mul(cols);
+    if total > MAX_ELEMS {
+        return Err(invalid(format!(
+            "implausible tensor size {rows}x{cols} for {what}"
+        )));
+    }
+    let mut data: Vec<f32> = Vec::with_capacity(total);
+    // Sized to the smaller of one chunk and the whole tensor: small
+    // matrices (one store record, one bias vector) shouldn't pay a 64 KiB
+    // zeroed allocation each.
+    let mut byte_buf = vec![0u8; total.min(READ_CHUNK_ELEMS) * 4];
+    let mut remaining = total;
+    while remaining > 0 {
+        let n = remaining.min(READ_CHUNK_ELEMS);
+        read_exact_checked(r, &mut byte_buf[..n * 4], "tensor data")?;
+        data.extend(
+            byte_buf[..n * 4]
+                .chunks_exact(4)
+                .map(|b| f32::from_le_bytes(b.try_into().expect("4-byte chunk"))),
+        );
+        remaining -= n;
+    }
+    Ok(Matrix::from_vec(rows, cols, data))
 }
 
 fn invalid(msg: impl Into<String>) -> io::Error {

@@ -22,7 +22,9 @@
 pub mod gp;
 pub mod search;
 pub mod space;
+pub mod sweep;
 
 pub use gp::{GaussianProcess, GpConfig, Posterior};
 pub use search::{bayes_opt, random_search, successive_halving, BayesConfig, SearchResult, Trial};
 pub use space::{ParamSpec, SearchSpace};
+pub use sweep::{hyperparams_at, sweep, SweepConfig};
